@@ -1,0 +1,176 @@
+//! Ablation benches for the design choices called out in DESIGN.md §7:
+//! REQUEST flood semantics, overlay family, local-scheduler extensions,
+//! and the distributed protocol against the omniscient centralized
+//! baseline. Each bench measures the full (scaled-down) simulation; the
+//! interesting output is both the wall time and the printed quality
+//! metric.
+
+use aria_core::{
+    CentralScheduler, GossipScheduler, MultiRequestScheduler, PolicyMix, ReservationPlan, World,
+    WorldConfig,
+};
+use aria_grid::Policy;
+use aria_overlay::{builders, LatencyModel, Topology};
+use aria_sim::{SimDuration, SimRng, SimTime};
+use aria_workload::{JobGenerator, SubmissionSchedule};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn run_world(mut config: WorldConfig, seed: u64) -> f64 {
+    let mut world = World::new(std::mem::replace(&mut config, WorldConfig::small_test(1)), seed);
+    let mut jobs = JobGenerator::paper_batch();
+    let schedule =
+        SubmissionSchedule::new(SimTime::from_mins(2), SimDuration::from_secs(20), 80);
+    world.submit_schedule(&schedule, &mut jobs);
+    world.run();
+    world.metrics().completion_summary().mean()
+}
+
+/// DESIGN.md ablation 1: matching nodes forwarding the flood vs. not.
+fn ablate_forward_on_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_forward_on_match");
+    for forward in [false, true] {
+        group.bench_with_input(BenchmarkId::from_parameter(forward), &forward, |b, &forward| {
+            b.iter(|| {
+                let mut config = WorldConfig::small_test(60);
+                config.aria.forward_on_match = forward;
+                black_box(run_world(config, 1))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// DESIGN.md ablation 2 is covered by Figure 8 (reschedule thresholds).
+/// DESIGN.md ablation 3: overlay family (the paper's §VI future work).
+/// An overlay construction function under benchmark.
+type OverlayBuilder = fn(&mut SimRng) -> Topology;
+
+fn ablate_overlay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_overlay");
+    let families: [(&str, OverlayBuilder); 3] = [
+        ("random_regular", |rng| builders::random_regular(60, 4, &LatencyModel::default(), rng)),
+        ("ring", |rng| builders::ring(60, &LatencyModel::default(), rng)),
+        ("small_world", |rng| {
+            builders::watts_strogatz(60, 4, 0.2, &LatencyModel::default(), rng)
+        }),
+    ];
+    // The Blatant overlay is what World builds internally; benchmark the
+    // alternatives' graph quality via their average path length inside a
+    // flood-heavy metric: path length drives flood reach.
+    for (name, build) in families {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                let mut rng = SimRng::seed_from(7);
+                let topo = build(&mut rng);
+                black_box((topo.avg_path_length(), topo.avg_degree()))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// DESIGN.md ablation 4: local-scheduler extensions (LJF, Priority).
+fn ablate_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_schedulers");
+    for policy in [Policy::Fcfs, Policy::Sjf, Policy::Ljf, Policy::Priority] {
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut config = WorldConfig::small_test(60);
+                config.policies = PolicyMix::Uniform(policy);
+                black_box(run_world(config, 2))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Reservation-load ablation (paper future work §VI): strict FCFS vs.
+/// EASY backfill under advance reservations.
+fn ablate_reservations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_reservations");
+    for policy in [Policy::Fcfs, Policy::Backfill] {
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut config = WorldConfig::small_test(60);
+                config.policies = PolicyMix::Uniform(policy);
+                config.reservations = Some(ReservationPlan::moderate());
+                black_box(run_world(config, 4))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// DESIGN.md ablation 5: ARiA vs. the omniscient centralized baseline
+/// and the multiple-simultaneous-requests scheme (paper reference [13]).
+fn ablate_central(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_baselines");
+    group.bench_function("aria_distributed", |b| {
+        b.iter(|| black_box(run_world(WorldConfig::small_test(60), 3)))
+    });
+    group.bench_function("central_omniscient", |b| {
+        b.iter(|| {
+            let mut central = CentralScheduler::new(
+                60,
+                PolicyMix::paper_mixed(),
+                SimTime::from_hours(12),
+                SimDuration::from_mins(5),
+                3,
+            );
+            let mut jobs = JobGenerator::paper_batch();
+            let schedule =
+                SubmissionSchedule::new(SimTime::from_mins(2), SimDuration::from_secs(20), 80);
+            central.submit_schedule(&schedule, &mut jobs);
+            central.run();
+            black_box(central.metrics().completion_summary().mean())
+        })
+    });
+    group.bench_function("gossip_caches", |b| {
+        b.iter(|| {
+            let mut grid = GossipScheduler::new(
+                60,
+                PolicyMix::paper_mixed(),
+                SimTime::from_hours(12),
+                SimDuration::from_mins(5),
+                3,
+            );
+            let mut jobs = JobGenerator::paper_batch();
+            let schedule =
+                SubmissionSchedule::new(SimTime::from_mins(2), SimDuration::from_secs(20), 80);
+            grid.submit_schedule(&schedule, &mut jobs);
+            grid.run();
+            black_box(grid.metrics().completion_summary().mean())
+        })
+    });
+    group.bench_function("multireq_k3", |b| {
+        b.iter(|| {
+            let mut grid = MultiRequestScheduler::new(
+                60,
+                PolicyMix::paper_mixed(),
+                3,
+                SimTime::from_hours(12),
+                SimDuration::from_mins(5),
+                3,
+            );
+            let mut jobs = JobGenerator::paper_batch();
+            let schedule =
+                SubmissionSchedule::new(SimTime::from_mins(2), SimDuration::from_secs(20), 80);
+            grid.submit_schedule(&schedule, &mut jobs);
+            grid.run();
+            black_box(grid.metrics().completion_summary().mean())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = ablate_forward_on_match, ablate_overlay, ablate_schedulers,
+        ablate_reservations, ablate_central
+}
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! One benchmark per paper artifact: each target runs the (scaled-down)
+//! simulation campaign that regenerates the corresponding table/figure,
+//! so `cargo bench` exercises every experiment path end to end.
+//!
+//! For the full-scale numbers, run the reproduction harness instead:
+//! `cargo run --release -p aria-scenarios --bin reproduce -- all`.
+
+use aria_scenarios::{Campaign, Runner, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Scaled-down campaign shared by the table benches: 40 nodes, 40 jobs,
+/// one seed, so a bench iteration stays in the tens of milliseconds.
+fn campaign() -> Campaign {
+    Campaign::new(Runner::scaled(40, 40).workers(1), vec![1])
+}
+
+fn bench_artifact(c: &mut Criterion, id: &str) {
+    c.bench_function(&format!("{id}_campaign"), |b| {
+        b.iter(|| {
+            let mut campaign = campaign();
+            black_box(campaign.render(id).expect("known artifact"))
+        })
+    });
+}
+
+fn table1(c: &mut Criterion) {
+    bench_artifact(c, "table1");
+}
+
+fn table2(c: &mut Criterion) {
+    bench_artifact(c, "table2");
+}
+
+fn fig01_completed_jobs(c: &mut Criterion) {
+    // Figures 1-3 share the six policy scenarios; each figure bench runs
+    // a representative pair to keep total bench time sane.
+    c.bench_function("fig01_completed_jobs", |b| {
+        b.iter(|| {
+            let runner = Runner::scaled(40, 40).workers(1);
+            black_box(runner.run_many(&[Scenario::Mixed, Scenario::IMixed], &[1]))
+        })
+    });
+}
+
+fn fig02_completion_time(c: &mut Criterion) {
+    c.bench_function("fig02_completion_time", |b| {
+        b.iter(|| {
+            let runner = Runner::scaled(40, 40).workers(1);
+            let results = runner.run_many(&[Scenario::Sjf, Scenario::ISjf], &[1]);
+            black_box(results.iter().map(|r| r.completion().mean()).collect::<Vec<_>>())
+        })
+    });
+}
+
+fn fig03_idle_nodes(c: &mut Criterion) {
+    c.bench_function("fig03_idle_nodes", |b| {
+        b.iter(|| {
+            let runner = Runner::scaled(40, 40).workers(1);
+            let results = runner.run_many(&[Scenario::Fcfs, Scenario::IFcfs], &[1]);
+            black_box(results.iter().map(|r| r.avg_idle_series()).collect::<Vec<_>>())
+        })
+    });
+}
+
+fn fig04_deadlines(c: &mut Criterion) {
+    c.bench_function("fig04_deadlines", |b| {
+        b.iter(|| {
+            let runner = Runner::scaled(40, 40).workers(1);
+            let results = runner.run_many(&[Scenario::DeadlineH, Scenario::IDeadlineH], &[1]);
+            black_box(results.iter().map(|r| r.avg_missed_deadlines()).collect::<Vec<_>>())
+        })
+    });
+}
+
+fn fig05_expanding(c: &mut Criterion) {
+    c.bench_function("fig05_expanding", |b| {
+        b.iter(|| {
+            let runner = Runner::scaled(40, 40).workers(1);
+            black_box(runner.run_many(&[Scenario::IExpanding], &[1]))
+        })
+    });
+}
+
+fn fig06_load_idle(c: &mut Criterion) {
+    c.bench_function("fig06_load_idle", |b| {
+        b.iter(|| {
+            let runner = Runner::scaled(40, 40).workers(1);
+            black_box(runner.run_many(&[Scenario::LowLoad, Scenario::IHighLoad], &[1]))
+        })
+    });
+}
+
+fn fig07_load_completion(c: &mut Criterion) {
+    c.bench_function("fig07_load_completion", |b| {
+        b.iter(|| {
+            let runner = Runner::scaled(40, 40).workers(1);
+            let results = runner.run_many(&[Scenario::HighLoad, Scenario::IHighLoad], &[1]);
+            black_box(results.iter().map(|r| r.completion().mean()).collect::<Vec<_>>())
+        })
+    });
+}
+
+fn fig08_resched_policies(c: &mut Criterion) {
+    c.bench_function("fig08_resched_policies", |b| {
+        b.iter(|| {
+            let runner = Runner::scaled(40, 40).workers(1);
+            black_box(runner.run_many(&[Scenario::IInform1, Scenario::IInform4], &[1]))
+        })
+    });
+}
+
+fn fig09_ert_accuracy(c: &mut Criterion) {
+    c.bench_function("fig09_ert_accuracy", |b| {
+        b.iter(|| {
+            let runner = Runner::scaled(40, 40).workers(1);
+            black_box(runner.run_many(&[Scenario::IPrecise, Scenario::IAccuracyBad], &[1]))
+        })
+    });
+}
+
+fn fig10_traffic(c: &mut Criterion) {
+    c.bench_function("fig10_traffic", |b| {
+        b.iter(|| {
+            let runner = Runner::scaled(40, 40).workers(1);
+            let results = runner.run_many(&[Scenario::IMixed], &[1]);
+            black_box(results[0].avg_total_bytes())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = table1, table2, fig01_completed_jobs, fig02_completion_time,
+        fig03_idle_nodes, fig04_deadlines, fig05_expanding, fig06_load_idle,
+        fig07_load_completion, fig08_resched_policies, fig09_ert_accuracy,
+        fig10_traffic
+}
+criterion_main!(benches);

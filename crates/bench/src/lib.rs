@@ -1,0 +1,15 @@
+//! # aria-bench
+//!
+//! Criterion benchmarks for the ARiA reproduction. The benchmark targets
+//! live in `benches/`:
+//!
+//! * `figures` — one bench per paper table/figure, running the
+//!   scaled-down campaign that regenerates it.
+//! * `components` — micro-benchmarks of the simulation building blocks
+//!   (overlay construction, scheduler queues, cost functions, event
+//!   queue, workload generation).
+//! * `ablations` — the design-choice ablations listed in DESIGN.md §7.
+//!
+//! Run them with `cargo bench --workspace`. For the full-scale
+//! experiment numbers use the reproduction harness instead:
+//! `cargo run --release -p aria-scenarios --bin reproduce -- all`.

@@ -1,0 +1,263 @@
+//! An omniscient centralized meta-scheduler baseline.
+//!
+//! The paper motivates ARiA against "centralized or hierarchical
+//! meta-schedulers that have a global view of the resources" (§II). This
+//! module provides that comparator for the ablation benches: a scheduler
+//! that sees every queue instantly and assigns each submitted job to the
+//! globally cheapest matching node, with zero messaging cost or latency.
+//!
+//! It is an *upper bound* on initial-placement quality: ARiA's discovery
+//! flood only samples the grid, while the central scheduler inspects all
+//! of it. It has no rescheduling phase — its placements are already
+//! globally optimal at submission time under the ETTC/NAL metric.
+
+use aria_grid::{JobSpec, NodeProfile, Policy, SchedulerQueue};
+use aria_metrics::MetricsCollector;
+use aria_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use aria_workload::{ArtModel, JobGenerator, ProfileGenerator, SubmissionSchedule};
+
+use crate::config::PolicyMix;
+
+#[derive(Debug, Clone)]
+enum Event {
+    Submit { job: JobSpec },
+    Complete { node: usize },
+    Sample,
+}
+
+/// A centralized grid meta-scheduler over the same node/job models as the
+/// distributed [`crate::World`].
+///
+/// # Example
+///
+/// ```
+/// use aria_core::{CentralScheduler, PolicyMix};
+/// use aria_grid::Policy;
+/// use aria_workload::{JobGenerator, SubmissionSchedule};
+/// use aria_sim::{SimDuration, SimTime};
+///
+/// let mut central = CentralScheduler::new(
+///     50,
+///     PolicyMix::Uniform(Policy::Fcfs),
+///     SimTime::from_hours(12),
+///     SimDuration::from_mins(5),
+///     1,
+/// );
+/// let mut jobs = JobGenerator::paper_batch();
+/// let schedule = SubmissionSchedule::new(SimTime::from_mins(1), SimDuration::from_mins(1), 10);
+/// central.submit_schedule(&schedule, &mut jobs);
+/// assert_eq!(central.run().completed_count(), 10);
+/// ```
+#[derive(Debug)]
+pub struct CentralScheduler {
+    profiles: Vec<NodeProfile>,
+    queues: Vec<SchedulerQueue>,
+    events: EventQueue<Event>,
+    metrics: MetricsCollector,
+    rng: SimRng,
+    art: ArtModel,
+    horizon: SimTime,
+    sample_period: SimDuration,
+}
+
+impl CentralScheduler {
+    /// Builds a centralized grid with `nodes` nodes; deterministic in the
+    /// seed, using the same profile distributions as the distributed
+    /// world.
+    pub fn new(
+        nodes: usize,
+        policies: PolicyMix,
+        horizon: SimTime,
+        sample_period: SimDuration,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SimRng::seed_from(seed);
+        let mut profile_rng = rng.fork(2);
+        let generator = ProfileGenerator::paper();
+        let profiles: Vec<NodeProfile> =
+            (0..nodes).map(|_| generator.generate(&mut profile_rng)).collect();
+        let queues: Vec<SchedulerQueue> =
+            (0..nodes).map(|_| SchedulerQueue::new(policies.sample(&mut profile_rng))).collect();
+        let mut events = EventQueue::new();
+        events.schedule(SimTime::ZERO, Event::Sample);
+        CentralScheduler {
+            profiles,
+            queues,
+            events,
+            metrics: MetricsCollector::new(sample_period),
+            rng,
+            art: ArtModel::paper_baseline(),
+            horizon,
+            sample_period,
+        }
+    }
+
+    /// Node profiles (for feasibility resampling).
+    pub fn profiles(&self) -> &[NodeProfile] {
+        &self.profiles
+    }
+
+    /// The local scheduling policy of node `i`.
+    pub fn policy_of(&self, i: usize) -> Policy {
+        self.queues[i].policy()
+    }
+
+    /// Schedules a job submission.
+    pub fn submit_job(&mut self, at: SimTime, job: JobSpec) {
+        self.events.schedule(at, Event::Submit { job });
+    }
+
+    /// Generates and schedules one feasible job per schedule instant.
+    pub fn submit_schedule(&mut self, schedule: &SubmissionSchedule, jobs: &mut JobGenerator) {
+        let mut workload_rng = self.rng.fork(3);
+        let profiles = self.profiles.clone();
+        for at in schedule.times() {
+            let job = jobs.generate_feasible(at, &profiles, &mut workload_rng);
+            self.submit_job(at, job);
+        }
+    }
+
+    /// Runs to completion and returns the metrics.
+    pub fn run(&mut self) -> &MetricsCollector {
+        while let Some((now, event)) = self.events.pop() {
+            match event {
+                Event::Submit { job } => self.place(now, job),
+                Event::Complete { node } => self.complete(now, node),
+                Event::Sample => self.sample(now),
+            }
+        }
+        &self.metrics
+    }
+
+    /// Assigns a job to the globally cheapest matching node (cost-kind
+    /// compatible, as in the distributed protocol).
+    fn place(&mut self, now: SimTime, job: JobSpec) {
+        self.metrics.job_submitted(&job, now);
+        let winner = self
+            .queues
+            .iter()
+            .zip(&self.profiles)
+            .enumerate()
+            .filter(|(_, (queue, profile))| {
+                job.requirements.matches(profile)
+                    && (queue.policy().cost_kind() == aria_grid::CostKind::Nal) == job.is_deadline()
+            })
+            .min_by_key(|(_, (queue, profile))| queue.cost_of_candidate(&job, now, profile))
+            .map(|(i, _)| i);
+        let Some(node) = winner else {
+            return; // infeasible: the record stays incomplete
+        };
+        self.metrics.job_assigned(job.id, now, false);
+        let profile = self.profiles[node];
+        self.queues[node].enqueue(job, now, &profile);
+        self.try_start(now, node);
+    }
+
+    fn try_start(&mut self, now: SimTime, node: usize) {
+        let Some(running) = self.queues[node].start_next(now) else {
+            return;
+        };
+        let spec = running.spec;
+        let ertp = running.expected_end.saturating_since(running.started_at);
+        let art = self.art.actual_running_time(spec.ert, ertp, &mut self.rng);
+        self.metrics.job_started(spec.id, node as u32, now);
+        self.events.schedule(now + art, Event::Complete { node });
+    }
+
+    fn complete(&mut self, now: SimTime, node: usize) {
+        let finished = self.queues[node].complete_running().expect("running job completes");
+        self.metrics.job_completed(finished.spec.id, now);
+        self.try_start(now, node);
+    }
+
+    fn sample(&mut self, now: SimTime) {
+        let idle = self.queues.iter().filter(|q| q.is_idle()).count();
+        let queued = self.queues.iter().map(|q| q.waiting_len()).sum();
+        self.metrics.sample_gauges(idle, queued);
+        let next = now + self.sample_period;
+        if next <= self.horizon {
+            self.events.schedule(next, Event::Sample);
+        }
+    }
+
+    /// The metrics collected so far.
+    pub fn metrics(&self) -> &MetricsCollector {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aria_grid::Policy;
+
+    fn scheduler(seed: u64) -> CentralScheduler {
+        CentralScheduler::new(
+            40,
+            PolicyMix::paper_mixed(),
+            SimTime::from_hours(12),
+            SimDuration::from_mins(5),
+            seed,
+        )
+    }
+
+    fn submit(central: &mut CentralScheduler, count: usize) {
+        let mut jobs = JobGenerator::paper_batch();
+        let schedule =
+            SubmissionSchedule::new(SimTime::from_mins(1), SimDuration::from_mins(1), count);
+        central.submit_schedule(&schedule, &mut jobs);
+    }
+
+    #[test]
+    fn completes_all_feasible_jobs() {
+        let mut central = scheduler(1);
+        submit(&mut central, 30);
+        let metrics = central.run();
+        assert_eq!(metrics.completed_count(), 30);
+    }
+
+    #[test]
+    fn placements_match_requirements() {
+        let mut central = scheduler(2);
+        submit(&mut central, 25);
+        central.run();
+        // All jobs ran, and record metadata is complete.
+        for record in central.metrics().records().values() {
+            assert!(record.executed_on.is_some());
+            assert_eq!(record.assignments, 1);
+            assert_eq!(record.reschedules, 0);
+        }
+    }
+
+    #[test]
+    fn no_messages_are_exchanged() {
+        let mut central = scheduler(3);
+        submit(&mut central, 10);
+        assert_eq!(central.run().traffic().total_messages(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut c = scheduler(seed);
+            submit(&mut c, 20);
+            c.run().completion_summary().mean()
+        };
+        assert_eq!(run(4), run(4));
+    }
+
+    #[test]
+    fn edf_only_grid_rejects_batch_jobs() {
+        let mut central = CentralScheduler::new(
+            10,
+            PolicyMix::Uniform(Policy::Edf),
+            SimTime::from_hours(4),
+            SimDuration::from_mins(5),
+            5,
+        );
+        let mut jobs = JobGenerator::paper_batch();
+        let schedule = SubmissionSchedule::new(SimTime::from_mins(1), SimDuration::from_mins(1), 5);
+        central.submit_schedule(&schedule, &mut jobs);
+        assert_eq!(central.run().completed_count(), 0);
+    }
+}

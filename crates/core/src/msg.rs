@@ -1,0 +1,185 @@
+//! The ARiA wire messages (Table I of the paper).
+
+use aria_grid::{Cost, JobId, JobSpec};
+use aria_metrics::TrafficClass;
+use aria_overlay::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one flood (a REQUEST round or one INFORM advertisement).
+///
+/// The selective flooding protocol suppresses duplicates per flood: a
+/// node processes each flood at most once. Retransmissions of a job's
+/// REQUEST use a fresh flood id so the new round reaches nodes again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FloodId(pub u64);
+
+impl fmt::Display for FloodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flood-{}", self.0)
+    }
+}
+
+/// An ARiA protocol message.
+///
+/// Field layout follows Table I; `hops_left` and `flood` are transport
+/// bookkeeping for the bounded selective flood (the paper's hop limits
+/// live in the protocol configuration, §IV-E).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// REQUEST — `initiator address · job UUID · job profile`.
+    ///
+    /// Broadcast by a job's initiator to discover candidate executors.
+    Request {
+        /// The node the job was submitted to.
+        initiator: NodeId,
+        /// Full job description (requirements + ERT + deadline).
+        job: JobSpec,
+        /// Remaining hop budget.
+        hops_left: u32,
+        /// Flood this message belongs to.
+        flood: FloodId,
+    },
+    /// ACCEPT — `node address · job UUID · cost`.
+    ///
+    /// A cost offer, sent to the initiator (REQUEST replies) or to the
+    /// current assignee (INFORM replies).
+    Accept {
+        /// The offering node.
+        from: NodeId,
+        /// The job being bid on.
+        job: JobId,
+        /// The offered cost (lower is better).
+        cost: Cost,
+    },
+    /// INFORM — `assignee address · job UUID · job profile · cost`.
+    ///
+    /// Rescheduling advertisement flooded by the job's current assignee.
+    Inform {
+        /// The node currently holding the job.
+        assignee: NodeId,
+        /// Full job description.
+        job: JobSpec,
+        /// The assignee's current cost for the job.
+        cost: Cost,
+        /// Remaining hop budget.
+        hops_left: u32,
+        /// Flood this message belongs to.
+        flood: FloodId,
+    },
+    /// ASSIGN — `initiator address · job UUID · job profile`.
+    ///
+    /// Delegates a job to a node. Receivers may not decline (§III-A).
+    Assign {
+        /// The job's initiator (for tracking and failsafe mechanisms).
+        initiator: NodeId,
+        /// Full job description.
+        job: JobSpec,
+    },
+}
+
+impl Message {
+    /// The traffic class of this message, for bandwidth accounting
+    /// (REQUEST/INFORM/ASSIGN = 1 KiB, ACCEPT = 128 B; §V-E).
+    pub fn traffic_class(&self) -> TrafficClass {
+        match self {
+            Message::Request { .. } => TrafficClass::Request,
+            Message::Accept { .. } => TrafficClass::Accept,
+            Message::Inform { .. } => TrafficClass::Inform,
+            Message::Assign { .. } => TrafficClass::Assign,
+        }
+    }
+
+    /// The job this message concerns.
+    pub fn job_id(&self) -> JobId {
+        match self {
+            Message::Request { job, .. }
+            | Message::Inform { job, .. }
+            | Message::Assign { job, .. } => job.id,
+            Message::Accept { job, .. } => *job,
+        }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Message::Request { initiator, job, hops_left, flood } => {
+                write!(f, "REQUEST[{} from {initiator} ttl={hops_left} {flood}]", job.id)
+            }
+            Message::Accept { from, job, cost } => {
+                write!(f, "ACCEPT[{job} from {from} cost={cost}]")
+            }
+            Message::Inform { assignee, job, cost, hops_left, flood } => {
+                write!(f, "INFORM[{} held by {assignee} cost={cost} ttl={hops_left} {flood}]", job.id)
+            }
+            Message::Assign { initiator, job } => {
+                write!(f, "ASSIGN[{} initiator={initiator}]", job.id)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aria_grid::{Architecture, JobRequirements, OperatingSystem};
+    use aria_sim::SimDuration;
+
+    fn job() -> JobSpec {
+        let req = JobRequirements::new(Architecture::Amd64, OperatingSystem::Linux, 1, 1);
+        JobSpec::batch(JobId::new(5), req, SimDuration::from_hours(1))
+    }
+
+    #[test]
+    fn traffic_classes_match_table() {
+        let j = job();
+        let request =
+            Message::Request { initiator: NodeId::new(0), job: j, hops_left: 9, flood: FloodId(1) };
+        let accept = Message::Accept {
+            from: NodeId::new(1),
+            job: j.id,
+            cost: Cost::from_ettc(SimDuration::from_hours(1)),
+        };
+        let inform = Message::Inform {
+            assignee: NodeId::new(2),
+            job: j,
+            cost: Cost::from_ettc(SimDuration::from_hours(2)),
+            hops_left: 8,
+            flood: FloodId(2),
+        };
+        let assign = Message::Assign { initiator: NodeId::new(0), job: j };
+        assert_eq!(request.traffic_class(), TrafficClass::Request);
+        assert_eq!(accept.traffic_class(), TrafficClass::Accept);
+        assert_eq!(inform.traffic_class(), TrafficClass::Inform);
+        assert_eq!(assign.traffic_class(), TrafficClass::Assign);
+    }
+
+    #[test]
+    fn job_id_is_uniform_across_variants() {
+        let j = job();
+        let msgs = [
+            Message::Request { initiator: NodeId::new(0), job: j, hops_left: 9, flood: FloodId(1) },
+            Message::Accept { from: NodeId::new(1), job: j.id, cost: Cost::from_nal(-5) },
+            Message::Inform {
+                assignee: NodeId::new(2),
+                job: j,
+                cost: Cost::from_nal(-5),
+                hops_left: 8,
+                flood: FloodId(2),
+            },
+            Message::Assign { initiator: NodeId::new(0), job: j },
+        ];
+        for m in msgs {
+            assert_eq!(m.job_id(), JobId::new(5));
+        }
+    }
+
+    #[test]
+    fn display_mentions_message_kind() {
+        let j = job();
+        let m = Message::Assign { initiator: NodeId::new(0), job: j };
+        assert!(m.to_string().starts_with("ASSIGN["));
+        assert!(FloodId(3).to_string().contains('3'));
+    }
+}

@@ -1,0 +1,336 @@
+//! The multiple-simultaneous-requests baseline (reference \[13\] of the
+//! paper: Subramani et al., HPDC 2002).
+//!
+//! The paper's related work describes this decentralized comparator as
+//! "submitting a job to the least loaded sites and subsequently revoking
+//! it on all but the one that has commenced its execution", and calls
+//! out its "evident drawback": many schedulers are loaded with jobs that
+//! are frequently cancelled.
+//!
+//! This module implements that scheme over the same grid substrate as
+//! ARiA so the two can be compared like-for-like: each job is placed in
+//! the queues of the `k` least-loaded matching sites simultaneously;
+//! when one replica starts executing, the others are revoked (with a
+//! small notification latency). Placement, like the original, uses
+//! queue-load information only — no cost bidding and no rescheduling.
+
+use aria_grid::{JobId, JobSpec, NodeProfile, SchedulerQueue};
+use aria_metrics::MetricsCollector;
+use aria_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use aria_workload::{ArtModel, JobGenerator, ProfileGenerator, SubmissionSchedule};
+use std::collections::HashMap;
+
+use crate::config::PolicyMix;
+
+#[derive(Debug, Clone)]
+enum Event {
+    Submit { job: JobSpec },
+    Complete { node: usize },
+    Revoke { node: usize, job: JobId },
+    Sample,
+}
+
+/// A grid scheduled by multiple simultaneous requests with revocation.
+///
+/// # Example
+///
+/// ```
+/// use aria_core::{MultiRequestScheduler, PolicyMix};
+/// use aria_grid::Policy;
+/// use aria_workload::{JobGenerator, SubmissionSchedule};
+/// use aria_sim::{SimDuration, SimTime};
+///
+/// let mut grid = MultiRequestScheduler::new(
+///     50,
+///     PolicyMix::Uniform(Policy::Fcfs),
+///     3, // replicas per job
+///     SimTime::from_hours(12),
+///     SimDuration::from_mins(5),
+///     1,
+/// );
+/// let mut jobs = JobGenerator::paper_batch();
+/// let schedule = SubmissionSchedule::new(SimTime::from_mins(1), SimDuration::from_mins(1), 10);
+/// grid.submit_schedule(&schedule, &mut jobs);
+/// assert_eq!(grid.run().completed_count(), 10);
+/// ```
+#[derive(Debug)]
+pub struct MultiRequestScheduler {
+    profiles: Vec<NodeProfile>,
+    queues: Vec<SchedulerQueue>,
+    events: EventQueue<Event>,
+    metrics: MetricsCollector,
+    rng: SimRng,
+    art: ArtModel,
+    horizon: SimTime,
+    sample_period: SimDuration,
+    replicas: usize,
+    revoke_latency: SimDuration,
+    /// Nodes still holding a queued replica of each unstarted job.
+    replica_sites: HashMap<JobId, Vec<usize>>,
+    /// Replicas enqueued then cancelled (the scheme's wasted work).
+    revoked_replicas: u64,
+}
+
+impl MultiRequestScheduler {
+    /// Builds a grid with `nodes` nodes and `replicas` simultaneous
+    /// requests per job; deterministic in the seed and using the same
+    /// profile distributions as the ARiA [`crate::World`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn new(
+        nodes: usize,
+        policies: PolicyMix,
+        replicas: usize,
+        horizon: SimTime,
+        sample_period: SimDuration,
+        seed: u64,
+    ) -> Self {
+        assert!(replicas > 0, "at least one replica is required");
+        let mut rng = SimRng::seed_from(seed);
+        let mut profile_rng = rng.fork(2);
+        let generator = ProfileGenerator::paper();
+        let profiles: Vec<NodeProfile> =
+            (0..nodes).map(|_| generator.generate(&mut profile_rng)).collect();
+        let queues: Vec<SchedulerQueue> =
+            (0..nodes).map(|_| SchedulerQueue::new(policies.sample(&mut profile_rng))).collect();
+        let mut events = EventQueue::new();
+        events.schedule(SimTime::ZERO, Event::Sample);
+        MultiRequestScheduler {
+            profiles,
+            queues,
+            events,
+            metrics: MetricsCollector::new(sample_period),
+            rng,
+            art: ArtModel::paper_baseline(),
+            horizon,
+            sample_period,
+            replicas,
+            revoke_latency: SimDuration::from_millis(300),
+            replica_sites: HashMap::new(),
+            revoked_replicas: 0,
+        }
+    }
+
+    /// Node profiles (for feasibility resampling).
+    pub fn profiles(&self) -> &[NodeProfile] {
+        &self.profiles
+    }
+
+    /// Replicas that were enqueued and later revoked — the overload the
+    /// paper criticizes this scheme for.
+    pub fn revoked_replicas(&self) -> u64 {
+        self.revoked_replicas
+    }
+
+    /// Schedules a job submission.
+    pub fn submit_job(&mut self, at: SimTime, job: JobSpec) {
+        self.events.schedule(at, Event::Submit { job });
+    }
+
+    /// Generates and schedules one feasible job per schedule instant.
+    pub fn submit_schedule(&mut self, schedule: &SubmissionSchedule, jobs: &mut JobGenerator) {
+        let mut workload_rng = self.rng.fork(3);
+        let profiles = self.profiles.clone();
+        for at in schedule.times() {
+            let job = jobs.generate_feasible(at, &profiles, &mut workload_rng);
+            self.submit_job(at, job);
+        }
+    }
+
+    /// Runs to completion and returns the metrics.
+    pub fn run(&mut self) -> &MetricsCollector {
+        while let Some((now, event)) = self.events.pop() {
+            match event {
+                Event::Submit { job } => self.place(now, job),
+                Event::Complete { node } => self.complete(now, node),
+                Event::Revoke { node, job } => self.revoke(node, job),
+                Event::Sample => self.sample(now),
+            }
+        }
+        &self.metrics
+    }
+
+    /// Enqueues the job at the `replicas` least-loaded matching sites.
+    fn place(&mut self, now: SimTime, job: JobSpec) {
+        self.metrics.job_submitted(&job, now);
+        let mut candidates: Vec<(SimDuration, usize)> = self
+            .queues
+            .iter()
+            .zip(&self.profiles)
+            .enumerate()
+            .filter(|(_, (queue, profile))| {
+                job.requirements.matches(profile) && queue.policy().is_batch() != job.is_deadline()
+            })
+            .map(|(i, (queue, _))| (queue.backlog(now), i))
+            .collect();
+        candidates.sort_by_key(|&(backlog, i)| (backlog, i));
+        let sites: Vec<usize> =
+            candidates.into_iter().take(self.replicas).map(|(_, i)| i).collect();
+        if sites.is_empty() {
+            return; // infeasible: the record stays incomplete
+        }
+        self.metrics.job_assigned(job.id, now, false);
+        self.replica_sites.insert(job.id, sites.clone());
+        for site in sites {
+            let profile = self.profiles[site];
+            self.queues[site].enqueue(job, now, &profile);
+            self.try_start(now, site);
+        }
+    }
+
+    fn try_start(&mut self, now: SimTime, node: usize) {
+        loop {
+            let Some(running) = self.queues[node].start_next(now) else {
+                return;
+            };
+            let spec = running.spec;
+            let started = running.started_at;
+            let expected_end = running.expected_end;
+            match self.replica_sites.remove(&spec.id) {
+                Some(sites) => {
+                    // First replica to reach the executor wins; revoke the
+                    // queued copies elsewhere.
+                    for other in sites {
+                        if other != node {
+                            self.events.schedule(
+                                now + self.revoke_latency,
+                                Event::Revoke { node: other, job: spec.id },
+                            );
+                        }
+                    }
+                    let ertp = expected_end.saturating_since(started);
+                    let art = self.art.actual_running_time(spec.ert, ertp, &mut self.rng);
+                    self.metrics.job_started(spec.id, node as u32, now);
+                    self.events.schedule(now + art, Event::Complete { node });
+                    return;
+                }
+                None => {
+                    // A replica of a job that already started elsewhere
+                    // slipped into execution before its revocation
+                    // arrived: cancel it on the spot and try the next
+                    // queued job.
+                    self.revoked_replicas += 1;
+                    self.queues[node].complete_running();
+                }
+            }
+        }
+    }
+
+    fn revoke(&mut self, node: usize, job: JobId) {
+        if self.queues[node].remove_waiting(job).is_some() {
+            self.revoked_replicas += 1;
+        }
+    }
+
+    fn complete(&mut self, now: SimTime, node: usize) {
+        let finished = self.queues[node].complete_running().expect("running job completes");
+        self.metrics.job_completed(finished.spec.id, now);
+        self.try_start(now, node);
+    }
+
+    fn sample(&mut self, now: SimTime) {
+        let idle = self.queues.iter().filter(|q| q.is_idle()).count();
+        let queued = self.queues.iter().map(|q| q.waiting_len()).sum();
+        self.metrics.sample_gauges(idle, queued);
+        let next = now + self.sample_period;
+        if next <= self.horizon {
+            self.events.schedule(next, Event::Sample);
+        }
+    }
+
+    /// The metrics collected so far.
+    pub fn metrics(&self) -> &MetricsCollector {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheduler(replicas: usize, seed: u64) -> MultiRequestScheduler {
+        MultiRequestScheduler::new(
+            40,
+            PolicyMix::paper_mixed(),
+            replicas,
+            SimTime::from_hours(12),
+            SimDuration::from_mins(5),
+            seed,
+        )
+    }
+
+    fn submit(grid: &mut MultiRequestScheduler, count: usize, interval_secs: u64) {
+        let mut jobs = JobGenerator::paper_batch();
+        let schedule = SubmissionSchedule::new(
+            SimTime::from_mins(1),
+            SimDuration::from_secs(interval_secs),
+            count,
+        );
+        grid.submit_schedule(&schedule, &mut jobs);
+    }
+
+    #[test]
+    fn completes_every_job_exactly_once() {
+        let mut grid = scheduler(3, 1);
+        submit(&mut grid, 40, 30);
+        let metrics = grid.run();
+        assert_eq!(metrics.completed_count(), 40);
+        for record in metrics.records().values() {
+            assert!(record.is_completed());
+        }
+    }
+
+    #[test]
+    fn revocations_happen_under_replication() {
+        let mut grid = scheduler(3, 2);
+        submit(&mut grid, 60, 10);
+        grid.run();
+        assert!(
+            grid.revoked_replicas() > 0,
+            "3-way replication must cancel surplus replicas"
+        );
+        // Each job wastes at most replicas-1 queue slots.
+        assert!(grid.revoked_replicas() <= 60 * 2);
+    }
+
+    #[test]
+    fn single_replica_never_revokes() {
+        let mut grid = scheduler(1, 3);
+        submit(&mut grid, 30, 20);
+        let metrics = grid.run();
+        assert_eq!(metrics.completed_count(), 30);
+        assert_eq!(grid.revoked_replicas(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut grid = scheduler(2, seed);
+            submit(&mut grid, 25, 20);
+            grid.run().completion_summary().mean()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn replication_does_not_lose_or_duplicate_completions() {
+        for replicas in [1, 2, 4, 8] {
+            let mut grid = scheduler(replicas, 11);
+            submit(&mut grid, 50, 5);
+            let metrics = grid.run();
+            assert_eq!(
+                metrics.completed_count(),
+                50,
+                "replicas={replicas} lost or duplicated completions"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_panics() {
+        scheduler(0, 1);
+    }
+}

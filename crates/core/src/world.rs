@@ -1,0 +1,1160 @@
+//! The discrete-event simulation world: grid nodes running the ARiA
+//! protocol over a self-organized overlay.
+//!
+//! The world owns the overlay topology, the per-node scheduler state, the
+//! event queue and the metrics collector. Scenario code builds a world
+//! from a [`WorldConfig`], schedules job submissions, then calls
+//! [`World::run`] which processes events to completion.
+//!
+//! ## Transport model
+//!
+//! * Flood messages (REQUEST, INFORM) travel hop by hop: each forwarding
+//!   step pays the link's one-way latency and one message of traffic.
+//! * Point-to-point replies (ACCEPT, ASSIGN) are routed by the overlay;
+//!   they are timed as [`crate::AriaConfig::reply_hops`] link traversals but
+//!   counted once for traffic (§V-E counts logical messages).
+//! * Duplicate suppression follows the selective flooding protocol of
+//!   the paper's reference \[28\]: a node processes each flood once, and
+//!   forwarding avoids nodes the flood already visited.
+
+use crate::config::{OverlayKind, WorldConfig};
+use crate::msg::{FloodId, Message};
+use aria_grid::{Cost, CostKind, JobId, JobSpec, NodeProfile, Policy, SchedulerQueue};
+use aria_metrics::MetricsCollector;
+use aria_overlay::{builders, Blatant, NodeId, Topology};
+use aria_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use aria_workload::{JobGenerator, ProfileGenerator, SubmissionSchedule};
+use std::collections::{HashMap, HashSet};
+
+/// A simulation event.
+#[derive(Debug, Clone)]
+enum Event {
+    /// A message arrives at a node.
+    Deliver { to: NodeId, msg: Message },
+    /// A user submits a job to a random node.
+    Submit { job: JobSpec },
+    /// An initiator stops collecting ACCEPT offers for a job.
+    AcceptWindowClosed { initiator: NodeId, job: JobId },
+    /// An initiator re-floods a REQUEST that received no offers.
+    RetryRequest { initiator: NodeId, job: JobSpec, round: u32 },
+    /// A node finishes executing a job.
+    ExecutionComplete { node: NodeId, job: JobId },
+    /// A node considers advertising jobs for rescheduling.
+    InformTick { node: NodeId },
+    /// Dispatch is retried once a blocking reservation window has ended.
+    DispatchRetry { node: NodeId },
+    /// A new node joins the overlay (Expanding scenarios).
+    Join,
+    /// A random alive node crashes, losing its queue (failure injection).
+    Crash,
+    /// An initiator's failsafe re-discovers a job lost to a crash.
+    RecoverJob {
+        /// The lost job.
+        job: JobSpec,
+    },
+    /// Periodic gauge sampling.
+    Sample,
+}
+
+/// Per-node protocol state.
+#[derive(Debug)]
+struct NodeState {
+    profile: NodeProfile,
+    queue: SchedulerQueue,
+    /// Jobs this node initiated that are still collecting offers.
+    pending: HashMap<JobId, PendingRequest>,
+    /// Crashed nodes stop participating entirely (failure injection).
+    alive: bool,
+}
+
+/// An initiator's open offer collection for one job.
+#[derive(Debug)]
+struct PendingRequest {
+    job: JobSpec,
+    round: u32,
+    best: Option<(Cost, NodeId)>,
+}
+
+/// Book-keeping for one active flood (duplicate suppression + cleanup).
+#[derive(Debug, Default)]
+struct FloodState {
+    visited: HashSet<NodeId>,
+    in_flight: u32,
+}
+
+/// A simulated ARiA grid.
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Debug)]
+pub struct World {
+    config: WorldConfig,
+    topology: Topology,
+    blatant: Blatant,
+    nodes: Vec<NodeState>,
+    events: EventQueue<Event>,
+    rng: SimRng,
+    metrics: MetricsCollector,
+    floods: HashMap<FloodId, FloodState>,
+    next_flood: u64,
+    /// Initiator of every submitted job (carried in ASSIGN messages).
+    initiators: HashMap<JobId, NodeId>,
+    /// Current holder of every assigned job (the initiator-side tracking
+    /// that §III-D's failsafe relies on).
+    assignees: HashMap<JobId, NodeId>,
+    /// Jobs whose REQUEST rounds were exhausted without an offer.
+    abandoned: Vec<JobId>,
+    /// Nodes taken down by failure injection.
+    crashed: Vec<NodeId>,
+    /// Jobs irrecoverably lost to crashes (failsafe off or initiator dead).
+    lost: Vec<JobId>,
+    /// Jobs re-discovered by the failsafe after a crash.
+    recovered: u64,
+}
+
+impl World {
+    /// Builds a world: overlay, node profiles, scheduler policies and the
+    /// periodic event scaffolding. Deterministic in `(config, seed)`.
+    pub fn new(config: WorldConfig, seed: u64) -> Self {
+        let mut rng = SimRng::seed_from(seed);
+        let mut overlay_rng = rng.fork(1);
+        let mut profile_rng = rng.fork(2);
+
+        let mut blatant = Blatant::new(config.overlay_path_length, config.latency);
+        let topology = match config.overlay {
+            OverlayKind::Blatant => blatant.build(config.nodes, &mut overlay_rng),
+            OverlayKind::RandomRegular { degree } => {
+                builders::random_regular(config.nodes, degree, &config.latency, &mut overlay_rng)
+            }
+            OverlayKind::SmallWorld { k, beta } => {
+                builders::watts_strogatz(config.nodes, k, beta, &config.latency, &mut overlay_rng)
+            }
+            OverlayKind::Ring => builders::ring(config.nodes, &config.latency, &mut overlay_rng),
+        };
+
+        let generator = ProfileGenerator::paper();
+        let nodes: Vec<NodeState> = (0..config.nodes)
+            .map(|_| NodeState {
+                profile: generator.generate(&mut profile_rng),
+                queue: SchedulerQueue::new(config.policies.sample(&mut profile_rng)),
+                pending: HashMap::new(),
+                alive: true,
+            })
+            .collect();
+
+        let mut events = EventQueue::new();
+        events.schedule(SimTime::ZERO, Event::Sample);
+        for at in &config.joins {
+            events.schedule(*at, Event::Join);
+        }
+        for at in &config.crashes {
+            events.schedule(*at, Event::Crash);
+        }
+        let mut world = World {
+            config,
+            topology,
+            blatant,
+            nodes,
+            events,
+            rng,
+            metrics: MetricsCollector::new(SimDuration::from_mins(5)),
+            floods: HashMap::new(),
+            next_flood: 0,
+            initiators: HashMap::new(),
+            assignees: HashMap::new(),
+            abandoned: Vec::new(),
+            crashed: Vec::new(),
+            lost: Vec::new(),
+            recovered: 0,
+        };
+        world.metrics = MetricsCollector::new(world.config.sample_period);
+        if let Some(plan) = world.config.reservations {
+            world.commit_reservations(plan);
+        }
+        if world.config.aria.rescheduling {
+            for i in 0..world.config.nodes {
+                world.schedule_first_inform_tick(NodeId::new(i as u32));
+            }
+        }
+        world
+    }
+
+    fn schedule_first_inform_tick(&mut self, node: NodeId) {
+        let period = self.config.aria.inform_period.as_millis();
+        let offset = SimDuration::from_millis(self.rng.u64_range(0, period.max(1)));
+        let at = self.events.now() + offset;
+        self.events.schedule(at, Event::InformTick { node });
+    }
+
+    // --- public accessors --------------------------------------------------
+
+    /// The world's configuration.
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    /// The overlay topology (immutable view).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The resource profile of a node.
+    pub fn profile_of(&self, node: NodeId) -> &NodeProfile {
+        &self.nodes[node.index()].profile
+    }
+
+    /// The local scheduling policy of a node.
+    pub fn policy_of(&self, node: NodeId) -> Policy {
+        self.nodes[node.index()].queue.policy()
+    }
+
+    /// Profiles of all current nodes (used for feasibility resampling).
+    pub fn profiles(&self) -> Vec<NodeProfile> {
+        self.nodes.iter().map(|n| n.profile).collect()
+    }
+
+    /// The metrics collected so far.
+    pub fn metrics(&self) -> &MetricsCollector {
+        &self.metrics
+    }
+
+    /// Jobs that exhausted every REQUEST round without finding a single
+    /// candidate (only possible when feasibility resampling is off).
+    pub fn abandoned_jobs(&self) -> &[JobId] {
+        &self.abandoned
+    }
+
+    /// Nodes taken down by failure injection, in crash order.
+    pub fn crashed_nodes(&self) -> &[NodeId] {
+        &self.crashed
+    }
+
+    /// Jobs irrecoverably lost to crashes.
+    pub fn lost_jobs(&self) -> &[JobId] {
+        &self.lost
+    }
+
+    /// Number of failsafe job recoveries performed.
+    pub fn recovered_count(&self) -> u64 {
+        self.recovered
+    }
+
+    /// Whether a node is alive (not crashed).
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].alive
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    // --- workload injection -------------------------------------------------
+
+    /// Schedules a single job submission at `at` (the initiator is drawn
+    /// at event time, so late submissions may land on joined nodes).
+    pub fn submit_job(&mut self, at: SimTime, job: JobSpec) {
+        self.events.schedule(at, Event::Submit { job });
+    }
+
+    /// Generates and schedules one feasible job per instant of
+    /// `schedule`, using this world's node profiles for feasibility.
+    pub fn submit_schedule(&mut self, schedule: &SubmissionSchedule, jobs: &mut JobGenerator) {
+        let profiles = self.profiles();
+        let mut workload_rng = self.rng.fork(3);
+        for at in schedule.times() {
+            let job = jobs.generate_feasible(at, &profiles, &mut workload_rng);
+            self.submit_job(at, job);
+        }
+    }
+
+    // --- main loop -----------------------------------------------------------
+
+    /// Runs the simulation until every event has been processed (all
+    /// periodic activity stops at the configured horizon, so the event
+    /// queue always drains) and returns the collected metrics.
+    pub fn run(&mut self) -> &MetricsCollector {
+        while let Some((now, event)) = self.events.pop() {
+            self.handle(now, event);
+        }
+        &self.metrics
+    }
+
+    /// Runs until the given instant, leaving later events pending.
+    pub fn run_until(&mut self, deadline: SimTime) -> &MetricsCollector {
+        while self.events.peek_time().is_some_and(|t| t <= deadline) {
+            let (now, event) = self.events.pop().expect("peeked event exists");
+            self.handle(now, event);
+        }
+        &self.metrics
+    }
+
+    fn handle(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::Deliver { to, msg } => self.deliver(now, to, msg),
+            Event::Submit { job } => self.submit(now, job),
+            Event::AcceptWindowClosed { initiator, job } => {
+                self.close_accept_window(now, initiator, job)
+            }
+            Event::RetryRequest { initiator, job, round } => {
+                if self.nodes[initiator.index()].alive {
+                    self.start_request_round(now, initiator, job, round);
+                } else {
+                    self.lost.push(job.id);
+                }
+            }
+            Event::ExecutionComplete { node, job } => self.complete_execution(now, node, job),
+            Event::InformTick { node } => self.inform_tick(now, node),
+            Event::DispatchRetry { node } => {
+                if self.nodes[node.index()].alive {
+                    self.try_start(now, node);
+                }
+            }
+            Event::Join => self.join_node(now),
+            Event::Crash => self.crash_node(now),
+            Event::RecoverJob { job } => self.recover_job(now, job),
+            Event::Sample => self.sample(now),
+        }
+    }
+
+    // --- submission & REQUEST phase (§III-B) ---------------------------------
+
+    fn submit(&mut self, now: SimTime, job: JobSpec) {
+        let alive: Vec<NodeId> = self.alive_nodes();
+        let initiator = *self.rng.choose(&alive);
+        self.metrics.job_submitted(&job, now);
+        self.initiators.insert(job.id, initiator);
+        self.start_request_round(now, initiator, job, 0);
+    }
+
+    fn start_request_round(&mut self, now: SimTime, initiator: NodeId, job: JobSpec, round: u32) {
+        // The initiator is itself a candidate when it matches the job.
+        let own_bid = {
+            let node = &self.nodes[initiator.index()];
+            if Self::node_can_bid(node, &job) {
+                Some((node.queue.cost_of_candidate(&job, now, &node.profile), initiator))
+            } else {
+                None
+            }
+        };
+        self.nodes[initiator.index()]
+            .pending
+            .insert(job.id, PendingRequest { job, round, best: own_bid });
+
+        // §III-B: the initiator broadcasts "to a random subset of nodes
+        // of the overlay" — the flood's seeds are random overlay members
+        // (reached via routed delivery); only the subsequent forwarding
+        // steps use direct neighbors.
+        let flood = self.new_flood(initiator);
+        let request = Message::Request {
+            initiator,
+            job,
+            hops_left: self.config.aria.request_hops,
+            flood,
+        };
+        let all: Vec<NodeId> = self
+            .topology
+            .nodes()
+            .filter(|&n| n != initiator && self.nodes[n.index()].alive)
+            .collect();
+        let seeds = self.rng.choose_multiple(&all, self.config.aria.request_fanout);
+        for seed in seeds {
+            self.floods.get_mut(&flood).expect("live flood").in_flight += 1;
+            self.send_routed(now, seed, request);
+        }
+        self.events.schedule(
+            now + self.config.aria.accept_window,
+            Event::AcceptWindowClosed { initiator, job: job.id },
+        );
+    }
+
+    fn close_accept_window(&mut self, now: SimTime, initiator: NodeId, job: JobId) {
+        if !self.nodes[initiator.index()].alive {
+            return; // the crash handler already accounted for the loss
+        }
+        let Some(pending) = self.nodes[initiator.index()].pending.remove(&job) else {
+            return;
+        };
+        match pending.best {
+            Some((_cost, winner)) => {
+                self.metrics.job_assigned(job, now, false);
+                if winner == initiator {
+                    // Local execution: no ASSIGN message is needed.
+                    self.enqueue_job(now, initiator, pending.job);
+                } else {
+                    self.send_routed(now, winner, Message::Assign { initiator, job: pending.job });
+                }
+            }
+            None => {
+                let round = pending.round + 1;
+                if round < self.config.aria.max_request_rounds {
+                    self.events.schedule(
+                        now + self.config.aria.request_retry,
+                        Event::RetryRequest { initiator, job: pending.job, round },
+                    );
+                } else {
+                    self.abandoned.push(job);
+                }
+            }
+        }
+    }
+
+    // --- message handling -----------------------------------------------------
+
+    fn deliver(&mut self, now: SimTime, to: NodeId, msg: Message) {
+        if !self.nodes[to.index()].alive {
+            // The recipient crashed while the message was in flight.
+            match msg {
+                Message::Request { flood, .. } | Message::Inform { flood, .. } => {
+                    let state = self.floods.get_mut(&flood).expect("live flood");
+                    state.in_flight -= 1;
+                    self.cleanup_flood(flood);
+                }
+                Message::Assign { job, .. } => {
+                    // The delegation evaporates with the crash; the
+                    // initiator's failsafe will rediscover the job.
+                    if self.config.failsafe {
+                        self.events.schedule(
+                            now + self.config.failsafe_detection,
+                            Event::RecoverJob { job },
+                        );
+                    } else {
+                        self.lost.push(job.id);
+                    }
+                }
+                Message::Accept { .. } => {}
+            }
+            return;
+        }
+        match msg {
+            Message::Request { initiator, job, hops_left, flood } => {
+                if !self.flood_arrival(flood, to) {
+                    return;
+                }
+                let node = &self.nodes[to.index()];
+                let bids = Self::node_can_bid(node, &job);
+                if bids {
+                    let cost = node.queue.cost_of_candidate(&job, now, &node.profile);
+                    self.send_routed(now, initiator, Message::Accept { from: to, job: job.id, cost });
+                }
+                if (!bids || self.config.aria.forward_on_match) && hops_left > 1 {
+                    let forwarded =
+                        Message::Request { initiator, job, hops_left: hops_left - 1, flood };
+                    self.forward_flood(now, to, forwarded, self.config.aria.request_fanout);
+                }
+                self.flood_departure(flood);
+            }
+            Message::Inform { assignee, job, cost, hops_left, flood } => {
+                if !self.flood_arrival(flood, to) {
+                    return;
+                }
+                let node = &self.nodes[to.index()];
+                let bids = Self::node_can_bid(node, &job);
+                if bids {
+                    let my_cost = node.queue.cost_of_candidate(&job, now, &node.profile);
+                    let threshold = self.config.aria.reschedule_threshold.as_millis() as i64;
+                    if my_cost.improvement_over(cost) > threshold {
+                        self.send_routed(
+                            now,
+                            assignee,
+                            Message::Accept { from: to, job: job.id, cost: my_cost },
+                        );
+                    }
+                }
+                if (!bids || self.config.aria.forward_on_match) && hops_left > 1 {
+                    let forwarded =
+                        Message::Inform { assignee, job, cost, hops_left: hops_left - 1, flood };
+                    self.forward_flood(now, to, forwarded, self.config.aria.inform_fanout);
+                }
+                self.flood_departure(flood);
+            }
+            Message::Accept { from, job, cost } => self.handle_accept(now, to, from, job, cost),
+            Message::Assign { initiator: _, job } => self.enqueue_job(now, to, job),
+        }
+    }
+
+    fn handle_accept(&mut self, now: SimTime, to: NodeId, from: NodeId, job: JobId, cost: Cost) {
+        // Offer for a job this node initiated and is still collecting?
+        if let Some(pending) = self.nodes[to.index()].pending.get_mut(&job) {
+            let better = match pending.best {
+                None => true,
+                Some((best, _)) => cost < best,
+            };
+            if better {
+                pending.best = Some((cost, from));
+            }
+            return;
+        }
+        // Otherwise: a rescheduling offer for a job this node holds.
+        let threshold = self.config.aria.reschedule_threshold.as_millis() as i64;
+        let node = &mut self.nodes[to.index()];
+        let Some(current) = node.queue.cost_of_waiting(job, now) else {
+            return; // already moved, started, or never here: stale offer
+        };
+        if cost.improvement_over(current) <= threshold {
+            return; // conditions changed; the move no longer pays off
+        }
+        let moved = node.queue.remove_waiting(job).expect("cost_of_waiting implies waiting");
+        let initiator = self.initiators.get(&job).copied().unwrap_or(to);
+        self.metrics.job_assigned(job, now, true);
+        self.send_routed(now, from, Message::Assign { initiator, job: moved.spec });
+    }
+
+    // --- local execution --------------------------------------------------------
+
+    fn enqueue_job(&mut self, now: SimTime, node: NodeId, job: JobSpec) {
+        self.assignees.insert(job.id, node);
+        let state = &mut self.nodes[node.index()];
+        let profile = state.profile;
+        state.queue.enqueue(job, now, &profile);
+        self.try_start(now, node);
+    }
+
+    fn try_start(&mut self, now: SimTime, node: NodeId) {
+        let state = &mut self.nodes[node.index()];
+        let Some(running) = state.queue.start_next(now) else {
+            // Jobs may be waiting behind an advance reservation: retry
+            // when the blocking window ends.
+            if let Some(at) = state.queue.next_dispatch_at(now) {
+                self.events.schedule(at, Event::DispatchRetry { node });
+            }
+            return;
+        };
+        let spec = running.spec;
+        let ertp = running.expected_end.saturating_since(running.started_at);
+        let art = self.config.art.actual_running_time(spec.ert, ertp, &mut self.rng);
+        self.metrics.job_started(spec.id, node.raw(), now);
+        self.events.schedule(now + art, Event::ExecutionComplete { node, job: spec.id });
+    }
+
+    fn complete_execution(&mut self, now: SimTime, node: NodeId, job: JobId) {
+        if !self.nodes[node.index()].alive {
+            return; // the executor crashed mid-run; the job was lost there
+        }
+        let state = &mut self.nodes[node.index()];
+        let finished = state.queue.complete_running().expect("completion event for running job");
+        debug_assert_eq!(finished.spec.id, job, "completion event job mismatch");
+        self.metrics.job_completed(job, now);
+        self.try_start(now, node);
+    }
+
+    /// Commits randomly placed advance reservations on every node
+    /// (build time; `plan.mean_per_node` expected windows each).
+    fn commit_reservations(&mut self, plan: crate::config::ReservationPlan) {
+        let mut rng = self.rng.fork(6);
+        let horizon_ms = self.config.horizon.as_millis().max(1);
+        for i in 0..self.nodes.len() {
+            let mut count = plan.mean_per_node.floor() as u64;
+            if rng.chance(plan.mean_per_node.fract()) {
+                count += 1;
+            }
+            for _ in 0..count {
+                let start = SimTime::from_millis(rng.u64_range(0, horizon_ms));
+                let duration = plan.duration.sample(&mut rng);
+                let window = aria_grid::Reservation::starting_at(start, duration);
+                // Overlapping draws are simply skipped: the plan is a
+                // statistical load, not an exact schedule.
+                let _ = self.nodes[i].queue.add_reservation(window);
+            }
+        }
+    }
+
+    // --- dynamic rescheduling (§III-D) -------------------------------------------
+
+    fn inform_tick(&mut self, now: SimTime, node: NodeId) {
+        if now > self.config.horizon || !self.nodes[node.index()].alive {
+            return; // stop the periodic chain
+        }
+        let candidates = {
+            let state = &self.nodes[node.index()];
+            state.queue.inform_candidates(now, self.config.aria.inform_batch)
+        };
+        for id in candidates {
+            let (spec, cost) = {
+                let state = &self.nodes[node.index()];
+                let queued = state
+                    .queue
+                    .waiting()
+                    .iter()
+                    .find(|j| j.spec.id == id)
+                    .expect("inform candidate is waiting");
+                let cost = state
+                    .queue
+                    .cost_of_waiting(id, now)
+                    .expect("inform candidate has a cost");
+                (queued.spec, cost)
+            };
+            let flood = self.new_flood(node);
+            let inform = Message::Inform {
+                assignee: node,
+                job: spec,
+                cost,
+                hops_left: self.config.aria.inform_hops,
+                flood,
+            };
+            self.forward_flood(now, node, inform, self.config.aria.inform_fanout);
+        }
+        self.events
+            .schedule(now + self.config.aria.inform_period, Event::InformTick { node });
+    }
+
+    // --- overlay growth (Expanding scenarios) -------------------------------------
+
+    fn join_node(&mut self, now: SimTime) {
+        let mut overlay_rng = self.rng.fork(4);
+        let id = self.blatant.integrate_node(&mut self.topology, &mut overlay_rng);
+        let mut profile_rng = self.rng.fork(5);
+        let generator = ProfileGenerator::paper();
+        self.nodes.push(NodeState {
+            profile: generator.generate(&mut profile_rng),
+            queue: SchedulerQueue::new(self.config.policies.sample(&mut profile_rng)),
+            pending: HashMap::new(),
+            alive: true,
+        });
+        debug_assert_eq!(self.nodes.len(), self.topology.len());
+        if self.config.aria.rescheduling && now <= self.config.horizon {
+            self.schedule_first_inform_tick(id);
+        }
+    }
+
+    // --- failure injection & failsafe recovery (§III-D) ----------------------------
+
+    /// All currently alive nodes.
+    fn alive_nodes(&self) -> Vec<NodeId> {
+        self.topology.nodes().filter(|n| self.nodes[n.index()].alive).collect()
+    }
+
+    /// Crashes one random alive node: its links vanish, its waiting and
+    /// running jobs are lost, and (with the failsafe armed) the jobs'
+    /// initiators rediscover them after the detection delay.
+    fn crash_node(&mut self, now: SimTime) {
+        let alive = self.alive_nodes();
+        if alive.len() <= 2 {
+            return; // refuse to kill a grid that small
+        }
+        let victim = *self.rng.choose(&alive);
+        self.nodes[victim.index()].alive = false;
+        self.crashed.push(victim);
+
+        // The victim's links disappear with it.
+        let neighbors: Vec<NodeId> = self.topology.neighbors(victim).to_vec();
+        for &n in &neighbors {
+            self.topology.disconnect(victim, n);
+        }
+        // Overlay self-healing (BLATANT-S maintenance, abstracted): alive
+        // neighbors that lost their redundancy re-link to random peers.
+        for &orphan in &neighbors {
+            if !self.nodes[orphan.index()].alive || self.topology.degree(orphan) >= 2 {
+                continue;
+            }
+            let candidates: Vec<NodeId> = self
+                .topology
+                .nodes()
+                .filter(|&n| {
+                    n != orphan
+                        && self.nodes[n.index()].alive
+                        && !self.topology.are_connected(orphan, n)
+                })
+                .collect();
+            if !candidates.is_empty() {
+                let peer = *self.rng.choose(&candidates);
+                let latency = self.config.latency.sample(&mut self.rng);
+                self.topology.connect(orphan, peer, latency);
+            }
+        }
+
+        // Jobs held by the victim are lost with its queue.
+        let state = &mut self.nodes[victim.index()];
+        let mut lost_specs: Vec<JobSpec> =
+            state.queue.drain_waiting().into_iter().map(|j| j.spec).collect();
+        if let Some(running) = state.queue.complete_running() {
+            lost_specs.push(running.spec);
+        }
+        // Jobs the victim was *initiating* lose their offer collection;
+        // nobody else tracks them, so they are gone for good.
+        let pending: Vec<JobId> = state.pending.drain().map(|(id, _)| id).collect();
+        self.lost.extend(pending);
+
+        for spec in lost_specs {
+            if self.config.failsafe {
+                self.events.schedule(
+                    now + self.config.failsafe_detection,
+                    Event::RecoverJob { job: spec },
+                );
+            } else {
+                self.lost.push(spec.id);
+            }
+        }
+    }
+
+    /// The initiator-side failsafe: re-run the discovery phase for a job
+    /// lost to a crash, unless it is demonstrably fine (completed, or
+    /// alive and queued elsewhere) or its initiator died too.
+    fn recover_job(&mut self, now: SimTime, job: JobSpec) {
+        if self.metrics.records().get(&job.id).is_some_and(|r| r.is_completed()) {
+            return;
+        }
+        if let Some(&holder) = self.assignees.get(&job.id) {
+            let state = &self.nodes[holder.index()];
+            let held = state.queue.is_waiting(job.id)
+                || state.queue.running().is_some_and(|r| r.spec.id == job.id);
+            if state.alive && held {
+                return; // false alarm: the job found another home
+            }
+        }
+        let initiator = self.initiators.get(&job.id).copied();
+        match initiator {
+            Some(initiator) if self.nodes[initiator.index()].alive => {
+                self.recovered += 1;
+                self.start_request_round(now, initiator, job, 0);
+            }
+            _ => self.lost.push(job.id),
+        }
+    }
+
+    // --- sampling -------------------------------------------------------------------
+
+    fn sample(&mut self, now: SimTime) {
+        let idle = self.nodes.iter().filter(|n| n.alive && n.queue.is_idle()).count();
+        let queued =
+            self.nodes.iter().filter(|n| n.alive).map(|n| n.queue.waiting_len()).sum();
+        self.metrics.sample_gauges(idle, queued);
+        let next = now + self.config.sample_period;
+        if next <= self.config.horizon {
+            self.events.schedule(next, Event::Sample);
+        }
+    }
+
+    // --- transport helpers ------------------------------------------------------------
+
+    /// Whether a node both matches a job's requirements and bids in the
+    /// job's cost family (batch offers are never mixed with deadline
+    /// offers, §III-C).
+    fn node_can_bid(node: &NodeState, job: &JobSpec) -> bool {
+        job.requirements.matches(&node.profile)
+            && (node.queue.policy().cost_kind() == CostKind::Nal) == job.is_deadline()
+    }
+
+    fn new_flood(&mut self, origin: NodeId) -> FloodId {
+        let id = FloodId(self.next_flood);
+        self.next_flood += 1;
+        let mut state = FloodState::default();
+        state.visited.insert(origin);
+        self.floods.insert(id, state);
+        id
+    }
+
+    /// Marks a flood message's arrival. Returns `false` (and finishes the
+    /// book-keeping) if this node already saw the flood.
+    fn flood_arrival(&mut self, flood: FloodId, at: NodeId) -> bool {
+        let state = self.floods.get_mut(&flood).expect("arrival for live flood");
+        state.in_flight -= 1;
+        if !state.visited.insert(at) {
+            self.cleanup_flood(flood);
+            return false;
+        }
+        true
+    }
+
+    /// Finishes one message's book-keeping after processing (may drop the
+    /// flood state once nothing is in flight).
+    fn flood_departure(&mut self, flood: FloodId) {
+        self.cleanup_flood(flood);
+    }
+
+    fn cleanup_flood(&mut self, flood: FloodId) {
+        if self.floods.get(&flood).is_some_and(|s| s.in_flight == 0) {
+            self.floods.remove(&flood);
+        }
+    }
+
+    /// Forwards a flood message from `from` to up to `fanout` random
+    /// neighbors not yet visited by the flood (selective flooding, \[28\]).
+    fn forward_flood(&mut self, now: SimTime, from: NodeId, msg: Message, fanout: usize) {
+        let flood = match msg {
+            Message::Request { flood, .. } | Message::Inform { flood, .. } => flood,
+            _ => unreachable!("only REQUEST/INFORM flood"),
+        };
+        let targets: Vec<NodeId> = {
+            let visited = &self.floods[&flood].visited;
+            let candidates: Vec<NodeId> = self
+                .topology
+                .neighbors(from)
+                .iter()
+                .copied()
+                .filter(|n| !visited.contains(n))
+                .collect();
+            self.rng.choose_multiple(&candidates, fanout)
+        };
+        for target in targets {
+            let latency = self
+                .topology
+                .latency(from, target)
+                .expect("forwarding along an existing link");
+            self.floods.get_mut(&flood).expect("live flood").in_flight += 1;
+            self.metrics.record_message(msg.traffic_class());
+            self.events.schedule(now + latency, Event::Deliver { to: target, msg });
+        }
+    }
+
+    /// Sends a point-to-point message (ACCEPT/ASSIGN): counted once,
+    /// timed as a few overlay hops.
+    fn send_routed(&mut self, now: SimTime, to: NodeId, msg: Message) {
+        let mut latency = SimDuration::ZERO;
+        for _ in 0..self.config.aria.reply_hops {
+            latency += self.config.latency.sample(&mut self.rng);
+        }
+        self.metrics.record_message(msg.traffic_class());
+        self.events.schedule(now + latency, Event::Deliver { to, msg });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AriaConfig, PolicyMix};
+    use aria_grid::{Architecture, JobRequirements, OperatingSystem};
+    use aria_metrics::TrafficClass;
+
+    fn small_world(seed: u64) -> World {
+        World::new(WorldConfig::small_test(40), seed)
+    }
+
+    fn submit_batch(world: &mut World, count: usize) {
+        let mut jobs = JobGenerator::paper_batch();
+        let schedule =
+            SubmissionSchedule::new(SimTime::from_mins(1), SimDuration::from_mins(1), count);
+        world.submit_schedule(&schedule, &mut jobs);
+    }
+
+    #[test]
+    fn all_jobs_complete_exactly_once() {
+        let mut world = small_world(1);
+        submit_batch(&mut world, 30);
+        let metrics = world.run();
+        assert_eq!(metrics.completed_count(), 30);
+        assert_eq!(metrics.records().len(), 30);
+        for record in metrics.records().values() {
+            assert!(record.is_completed(), "{} did not complete", record.id);
+            assert!(record.assignments >= 1);
+        }
+        assert!(world.abandoned_jobs().is_empty());
+    }
+
+    #[test]
+    fn jobs_execute_only_on_matching_nodes() {
+        let mut world = small_world(2);
+        let profiles = world.profiles();
+        let mut jobs = JobGenerator::paper_batch();
+        let mut rng = SimRng::seed_from(99);
+        let mut specs = Vec::new();
+        for i in 0..20 {
+            let at = SimTime::from_mins(i + 1);
+            let spec = jobs.generate_feasible(at, &profiles, &mut rng);
+            specs.push(spec);
+            world.submit_job(at, spec);
+        }
+        world.run();
+        for spec in specs {
+            let record = &world.metrics().records()[&spec.id];
+            let node = record.executed_on.expect("completed");
+            let profile = world.profile_of(NodeId::new(node));
+            assert!(
+                spec.requirements.matches(profile),
+                "{} ran on non-matching node {node}",
+                spec.id
+            );
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut world = small_world(seed);
+            submit_batch(&mut world, 25);
+            world.run();
+            let m = world.metrics();
+            (
+                m.completion_summary().mean(),
+                m.traffic().total_messages(),
+                m.idle_series().values().to_vec(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        let (mean_a, msgs_a, _) = run(7);
+        let (mean_b, msgs_b, _) = run(8);
+        assert!(mean_a != mean_b || msgs_a != msgs_b, "different seeds should differ");
+    }
+
+    #[test]
+    fn traffic_has_paper_shape() {
+        let mut world = small_world(3);
+        submit_batch(&mut world, 30);
+        let metrics = world.run();
+        let traffic = metrics.traffic();
+        assert!(traffic.messages(TrafficClass::Request) > 0);
+        assert!(traffic.messages(TrafficClass::Accept) > 0);
+        assert!(traffic.messages(TrafficClass::Assign) >= 30 - traffic_local_assigns(metrics));
+        // INFORM flows only in rescheduling runs; here it is on.
+        assert!(traffic.messages(TrafficClass::Inform) > 0);
+    }
+
+    fn traffic_local_assigns(metrics: &MetricsCollector) -> u64 {
+        // Jobs assigned to their own initiator produce no ASSIGN message.
+        metrics.records().len() as u64
+    }
+
+    #[test]
+    fn disabling_rescheduling_silences_inform() {
+        let mut config = WorldConfig::small_test(40);
+        config.aria = AriaConfig::without_rescheduling();
+        let mut world = World::new(config, 4);
+        submit_batch(&mut world, 30);
+        let metrics = world.run();
+        assert_eq!(metrics.completed_count(), 30);
+        assert_eq!(metrics.traffic().messages(TrafficClass::Inform), 0);
+        assert_eq!(metrics.reschedule_summary().max(), 0.0);
+    }
+
+    #[test]
+    fn rescheduling_actually_moves_jobs_under_load() {
+        let mut config = WorldConfig::small_test(40);
+        config.policies = PolicyMix::Uniform(Policy::Fcfs);
+        let mut world = World::new(config, 5);
+        // Heavy burst: many jobs in two minutes forces queues to build up,
+        // so INFORM floods find better homes as executions drain.
+        let mut jobs = JobGenerator::paper_batch();
+        let schedule =
+            SubmissionSchedule::new(SimTime::from_mins(1), SimDuration::from_secs(2), 120);
+        world.submit_schedule(&schedule, &mut jobs);
+        let metrics = world.run();
+        assert_eq!(metrics.completed_count(), 120);
+        assert!(
+            metrics.reschedule_summary().sum() > 0.0,
+            "expected at least one dynamic reschedule under load"
+        );
+    }
+
+    #[test]
+    fn deadline_world_completes_and_reports_stats() {
+        let mut config = WorldConfig::small_test(40);
+        config.policies = PolicyMix::Uniform(Policy::Edf);
+        let mut world = World::new(config, 6);
+        let mut jobs = JobGenerator::paper_deadline();
+        let schedule =
+            SubmissionSchedule::new(SimTime::from_mins(1), SimDuration::from_mins(1), 30);
+        world.submit_schedule(&schedule, &mut jobs);
+        let metrics = world.run();
+        assert_eq!(metrics.completed_count(), 30);
+        let stats = metrics.deadline_stats();
+        assert_eq!(stats.met() + stats.missed(), 30);
+    }
+
+    #[test]
+    fn batch_jobs_are_not_bid_on_by_deadline_nodes() {
+        // A pure-EDF world receiving batch jobs: nobody may bid, so jobs
+        // are retried and eventually abandoned.
+        let mut config = WorldConfig::small_test(20);
+        config.policies = PolicyMix::Uniform(Policy::Edf);
+        config.aria.max_request_rounds = 2;
+        let mut world = World::new(config, 7);
+        let req = JobRequirements::new(Architecture::Amd64, OperatingSystem::Linux, 1, 1);
+        let job = JobSpec::batch(JobId::new(0), req, SimDuration::from_hours(1));
+        world.submit_job(SimTime::from_mins(1), job);
+        let metrics = world.run();
+        assert_eq!(metrics.completed_count(), 0);
+        assert_eq!(world.abandoned_jobs(), [JobId::new(0)]);
+    }
+
+    #[test]
+    fn infeasible_job_is_retried_then_abandoned() {
+        let mut config = WorldConfig::small_test(20);
+        config.aria.max_request_rounds = 3;
+        let mut world = World::new(config, 8);
+        // Demand an impossible amount of memory.
+        let req = JobRequirements::new(Architecture::Amd64, OperatingSystem::Linux, u16::MAX, 1);
+        let job = JobSpec::batch(JobId::new(0), req, SimDuration::from_hours(1));
+        world.submit_job(SimTime::from_mins(1), job);
+        world.run();
+        assert_eq!(world.abandoned_jobs().len(), 1);
+        // Three REQUEST rounds of traffic were spent.
+        assert!(world.metrics().traffic().messages(TrafficClass::Request) > 0);
+    }
+
+    #[test]
+    fn expanding_world_grows_and_completes() {
+        let mut config = WorldConfig::small_test(30);
+        config.joins = (0..10u64)
+            .map(|i| SimTime::from_mins(30) + SimDuration::from_mins(i))
+            .collect();
+        let mut world = World::new(config, 9);
+        submit_batch(&mut world, 20);
+        world.run();
+        assert_eq!(world.metrics().completed_count(), 20);
+        assert_eq!(world.topology().len(), 40);
+        assert!(world.topology().is_connected());
+        assert_eq!(world.profiles().len(), 40);
+    }
+
+    #[test]
+    fn alternative_overlays_schedule_jobs_too() {
+        use crate::config::OverlayKind;
+        for overlay in [
+            OverlayKind::RandomRegular { degree: 4 },
+            OverlayKind::SmallWorld { k: 4, beta: 0.2 },
+            OverlayKind::Ring,
+        ] {
+            let mut config = WorldConfig::small_test(40);
+            config.overlay = overlay;
+            let mut world = World::new(config, 13);
+            assert!(world.topology().is_connected(), "{overlay:?} disconnected");
+            submit_batch(&mut world, 15);
+            world.run();
+            assert_eq!(
+                world.metrics().completed_count(),
+                15,
+                "{overlay:?} lost jobs"
+            );
+        }
+    }
+
+    #[test]
+    fn reservations_delay_but_never_lose_jobs() {
+        use crate::config::ReservationPlan;
+        let run = |plan: Option<ReservationPlan>, seed: u64| {
+            let mut config = WorldConfig::small_test(40);
+            config.reservations = plan;
+            let mut world = World::new(config, seed);
+            submit_batch(&mut world, 30);
+            world.run();
+            assert_eq!(world.metrics().completed_count(), 30);
+            world.metrics().completion_summary().mean()
+        };
+        let free = run(None, 31);
+        let reserved = run(Some(ReservationPlan::moderate()), 31);
+        assert!(
+            reserved >= free,
+            "reservation load should not speed jobs up ({reserved} vs {free})"
+        );
+    }
+
+    #[test]
+    fn backfill_grid_completes_under_reservations() {
+        use crate::config::ReservationPlan;
+        let run = |policy: Policy, seed: u64| {
+            let mut config = WorldConfig::small_test(40);
+            config.policies = PolicyMix::Uniform(policy);
+            config.reservations = Some(ReservationPlan::moderate());
+            let mut world = World::new(config, seed);
+            submit_batch(&mut world, 30);
+            world.run();
+            assert_eq!(world.metrics().completed_count(), 30, "{policy} lost jobs");
+            world.metrics().waiting_summary().mean()
+        };
+        // Both complete; backfill should not be slower than strict FCFS
+        // under the same reservation load (same seed, same workload).
+        let fcfs = run(Policy::Fcfs, 33);
+        let backfill = run(Policy::Backfill, 33);
+        assert!(
+            backfill <= fcfs * 1.1,
+            "backfill waits ({backfill}) should not exceed FCFS ({fcfs}) by much"
+        );
+    }
+
+    #[test]
+    fn crashes_lose_nodes_but_failsafe_recovers_jobs() {
+        let mut config = WorldConfig::small_test(50);
+        // Crash five nodes while the workload is in flight.
+        config.crashes = (0..5u64).map(|i| SimTime::from_mins(40 + 10 * i)).collect();
+        let mut world = World::new(config, 21);
+        submit_batch(&mut world, 40);
+        world.run();
+        assert_eq!(world.crashed_nodes().len(), 5);
+        // Crashed nodes are disconnected; the survivors stay connected
+        // (self-healing) — check by BFS over alive nodes only: every
+        // alive node must reach some other alive node's neighborhood.
+        for &dead in world.crashed_nodes() {
+            assert!(!world.is_alive(dead));
+            assert_eq!(world.topology().degree(dead), 0);
+        }
+        // Everything either completed or is explicitly accounted lost.
+        let completed = world.metrics().completed_count() as usize;
+        let lost = world.lost_jobs().len();
+        let abandoned = world.abandoned_jobs().len();
+        assert_eq!(completed + lost + abandoned, 40, "job accounting broken");
+        // The failsafe did real work on at least one seed/crash combo.
+        assert!(
+            world.recovered_count() > 0 || lost == 0,
+            "crashes during load should trigger recoveries"
+        );
+        // No double execution: every completed record completed once.
+        assert_eq!(
+            world.metrics().records().values().filter(|r| r.is_completed()).count(),
+            completed
+        );
+    }
+
+    #[test]
+    fn failsafe_off_loses_crashed_jobs() {
+        let mut config = WorldConfig::small_test(30);
+        config.failsafe = false;
+        // Heavy burst then a crash right in the middle of the backlog.
+        config.crashes = vec![SimTime::from_mins(30)];
+        let mut world = World::new(config, 22);
+        let mut jobs = JobGenerator::paper_batch();
+        let schedule =
+            SubmissionSchedule::new(SimTime::from_mins(1), SimDuration::from_secs(5), 60);
+        world.submit_schedule(&schedule, &mut jobs);
+        world.run();
+        let completed = world.metrics().completed_count() as usize;
+        let lost = world.lost_jobs().len();
+        assert_eq!(completed + lost + world.abandoned_jobs().len(), 60);
+        assert!(lost > 0, "a crash mid-backlog with no failsafe must lose jobs");
+    }
+
+    #[test]
+    fn crash_refuses_to_kill_tiny_grids() {
+        let mut config = WorldConfig::small_test(2);
+        config.crashes = vec![SimTime::from_mins(1)];
+        let mut world = World::new(config, 23);
+        world.run();
+        assert!(world.crashed_nodes().is_empty());
+    }
+
+    #[test]
+    fn gauge_series_span_the_horizon() {
+        let mut world = small_world(10);
+        submit_batch(&mut world, 5);
+        world.run();
+        let expected =
+            (world.config().horizon.as_millis() / world.config().sample_period.as_millis()) + 1;
+        let metrics = world.metrics();
+        assert_eq!(metrics.idle_series().len() as u64, expected);
+        // Completed series is monotone non-decreasing.
+        let completed = metrics.completed_series().values();
+        assert!(completed.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*completed.last().unwrap(), 5.0);
+    }
+
+    #[test]
+    fn run_until_stops_midway() {
+        let mut world = small_world(11);
+        submit_batch(&mut world, 10);
+        world.run_until(SimTime::from_mins(30));
+        assert!(world.now() <= SimTime::from_mins(30));
+        let before = world.metrics().completed_count();
+        world.run();
+        assert!(world.metrics().completed_count() >= before);
+        assert_eq!(world.metrics().completed_count(), 10);
+    }
+
+    #[test]
+    fn waiting_time_reflects_queueing() {
+        let mut world = small_world(12);
+        submit_batch(&mut world, 40);
+        world.run();
+        let waiting = world.metrics().waiting_summary();
+        assert_eq!(waiting.count(), 40);
+        // Every job waits at least the accept window before starting.
+        assert!(waiting.min() >= world.config().aria.accept_window.as_secs_f64());
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests: the JSDL writer/parser round-trips arbitrary
+//! job specifications, and the XML layer survives arbitrary text.
+
+use aria_grid::{Architecture, JobId, JobRequirements, JobSpec, OperatingSystem};
+use aria_jsdl::{xml, JobDefinition};
+use aria_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_arch() -> impl Strategy<Value = Architecture> {
+    proptest::sample::select(Architecture::ALL.to_vec())
+}
+
+fn arb_os() -> impl Strategy<Value = OperatingSystem> {
+    proptest::sample::select(OperatingSystem::ALL.to_vec())
+}
+
+proptest! {
+    /// Any JobSpec survives a write-then-parse round trip exactly.
+    #[test]
+    fn job_spec_round_trips(
+        id in 0u64..1_000_000,
+        arch in arb_arch(),
+        os in arb_os(),
+        mem_gb in 0u16..64,
+        disk_gb in 0u16..64,
+        ert_secs in 1u64..1_000_000,
+        deadline_secs in proptest::option::of(0u64..10_000_000),
+        name in proptest::option::of("[a-zA-Z0-9 <>&'\"_-]{1,30}"),
+    ) {
+        let req = JobRequirements::new(arch, os, mem_gb, disk_gb);
+        let ert = SimDuration::from_secs(ert_secs);
+        let spec = match deadline_secs {
+            None => JobSpec::batch(JobId::new(id), req, ert),
+            Some(d) => JobSpec::with_deadline(JobId::new(id), req, ert, SimTime::from_secs(d)),
+        };
+        let def = JobDefinition::from_job_spec(&spec, name.as_deref());
+        let reparsed = JobDefinition::parse(&def.to_xml()).expect("own output parses");
+        // XML text is whitespace-trimmed on parse, so compare against the
+        // normalized name; everything else must round-trip exactly.
+        let expected_name =
+            name.as_deref().map(str::trim).filter(|n| !n.is_empty()).map(str::to_string);
+        prop_assert_eq!(&reparsed.name, &expected_name);
+        prop_assert_eq!(JobDefinition { name: expected_name, ..def }, reparsed.clone());
+        let spec_again = reparsed.to_job_spec(JobId::new(id)).expect("convertible");
+        prop_assert_eq!(spec_again, spec);
+    }
+
+    /// escape/parse round-trips arbitrary element text.
+    #[test]
+    fn xml_text_round_trips(text in "[ -~]{0,80}") {
+        let doc = format!("<root>{}</root>", xml::escape(&text));
+        let root = xml::parse(&doc).expect("escaped text is well-formed");
+        prop_assert_eq!(root.text, text.trim());
+    }
+
+    /// escape/parse round-trips arbitrary attribute values.
+    #[test]
+    fn xml_attributes_round_trip(value in "[ -~]{0,60}") {
+        let doc = format!(r#"<root attr="{}"/>"#, xml::escape(&value));
+        let root = xml::parse(&doc).expect("escaped attribute is well-formed");
+        prop_assert_eq!(root.attribute("attr"), Some(value.as_str()));
+    }
+
+    /// The parser never panics on arbitrary garbage — it returns errors.
+    #[test]
+    fn parser_is_panic_free(garbage in "[ -~<>&;/]{0,200}") {
+        let _ = xml::parse(&garbage);
+    }
+}

@@ -1,0 +1,179 @@
+//! Baseline overlay families.
+//!
+//! The paper's future work calls for "experiments with different types of
+//! peer-to-peer overlay networks in order to gain a better understanding
+//! of its correlation to the meta-scheduling performance" (§VI). These
+//! builders provide classic topologies for that ablation:
+//! a ring, a random regular-ish graph, and a Watts-Strogatz small world.
+
+use crate::latency::LatencyModel;
+use crate::topology::{NodeId, Topology};
+use aria_sim::SimRng;
+
+/// A bidirectional ring of `n` nodes.
+///
+/// The worst overlay for flooding-based discovery: path lengths grow
+/// linearly with `n`.
+pub fn ring(n: usize, latency: &LatencyModel, rng: &mut SimRng) -> Topology {
+    let mut topo = Topology::with_nodes(n);
+    if n < 2 {
+        return topo;
+    }
+    for i in 0..n {
+        let next = NodeId::new(((i + 1) % n) as u32);
+        topo.connect(NodeId::new(i as u32), next, latency.sample(rng));
+    }
+    topo
+}
+
+/// A connected random graph where every node has degree at least `d`
+/// (degree close to `d` on average).
+///
+/// Built as a ring (for guaranteed connectivity) plus random chords until
+/// the average degree reaches `d`.
+///
+/// # Panics
+///
+/// Panics if `d < 2` or `d >= n`.
+pub fn random_regular(n: usize, d: usize, latency: &LatencyModel, rng: &mut SimRng) -> Topology {
+    assert!(d >= 2, "degree must be at least 2 for connectivity");
+    assert!(n == 0 || d < n, "degree must be below the node count");
+    let mut topo = ring(n, latency, rng);
+    if n < 3 {
+        return topo;
+    }
+    let target_links = n * d / 2;
+    let mut attempts = 0;
+    while topo.link_count() < target_links && attempts < n * d * 20 {
+        attempts += 1;
+        let a = NodeId::new(rng.u64_range(0, n as u64) as u32);
+        let b = NodeId::new(rng.u64_range(0, n as u64) as u32);
+        if a != b && !topo.are_connected(a, b) {
+            topo.connect(a, b, latency.sample(rng));
+        }
+    }
+    topo
+}
+
+/// A Watts-Strogatz small-world overlay: a ring lattice where each node
+/// links to its `k/2` nearest neighbors on each side, with every link
+/// rewired to a random endpoint with probability `beta`.
+///
+/// Rewiring never disconnects the lattice backbone below degree 2.
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k < 2`, `k >= n` (for `n > 0`), or `beta` is
+/// outside `[0, 1]`.
+pub fn watts_strogatz(
+    n: usize,
+    k: usize,
+    beta: f64,
+    latency: &LatencyModel,
+    rng: &mut SimRng,
+) -> Topology {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and at least 2");
+    assert!(n == 0 || k < n, "k must be below the node count");
+    assert!((0.0..=1.0).contains(&beta), "beta must be within [0, 1]");
+    let mut topo = Topology::with_nodes(n);
+    if n < 2 {
+        return topo;
+    }
+    for i in 0..n {
+        for j in 1..=k / 2 {
+            let neighbor = NodeId::new(((i + j) % n) as u32);
+            topo.connect(NodeId::new(i as u32), neighbor, latency.sample(rng));
+        }
+    }
+    // Rewire each lattice link with probability beta.
+    for i in 0..n {
+        let a = NodeId::new(i as u32);
+        for j in 1..=k / 2 {
+            let b = NodeId::new(((i + j) % n) as u32);
+            if !rng.chance(beta) || !topo.are_connected(a, b) {
+                continue;
+            }
+            if topo.degree(a) <= 2 || topo.degree(b) <= 2 {
+                continue;
+            }
+            let c = NodeId::new(rng.u64_range(0, n as u64) as u32);
+            if c != a && !topo.are_connected(a, c) {
+                topo.disconnect(a, b);
+                topo.connect(a, c, latency.sample(rng));
+            }
+        }
+    }
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(17)
+    }
+
+    #[test]
+    fn ring_has_n_links_and_degree_two() {
+        let t = ring(50, &LatencyModel::default(), &mut rng());
+        assert!(t.is_connected());
+        assert_eq!(t.link_count(), 50);
+        assert!(t.nodes().all(|n| t.degree(n) == 2));
+        // APL of a ring is ~ n/4.
+        assert!((t.avg_path_length() - 12.75).abs() < 0.3);
+    }
+
+    #[test]
+    fn ring_degenerate_sizes() {
+        assert_eq!(ring(0, &LatencyModel::default(), &mut rng()).len(), 0);
+        assert_eq!(ring(1, &LatencyModel::default(), &mut rng()).link_count(), 0);
+        let two = ring(2, &LatencyModel::default(), &mut rng());
+        assert_eq!(two.link_count(), 1);
+    }
+
+    #[test]
+    fn random_regular_hits_degree_target() {
+        let t = random_regular(200, 4, &LatencyModel::default(), &mut rng());
+        assert!(t.is_connected());
+        assert!((t.avg_degree() - 4.0).abs() < 0.2, "avg degree {}", t.avg_degree());
+        // Random graphs have logarithmic path lengths.
+        assert!(t.avg_path_length() < 6.0);
+    }
+
+    #[test]
+    fn watts_strogatz_shortens_paths_with_beta() {
+        let lattice = watts_strogatz(200, 4, 0.0, &LatencyModel::default(), &mut rng());
+        let small_world = watts_strogatz(200, 4, 0.2, &LatencyModel::default(), &mut rng());
+        assert!(lattice.is_connected());
+        assert!(small_world.is_connected());
+        assert!(
+            small_world.avg_path_length() < lattice.avg_path_length(),
+            "rewiring should shorten paths: {} vs {}",
+            small_world.avg_path_length(),
+            lattice.avg_path_length()
+        );
+        assert!((small_world.avg_degree() - 4.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        let a = random_regular(100, 4, &LatencyModel::default(), &mut SimRng::seed_from(3));
+        let b = random_regular(100, 4, &LatencyModel::default(), &mut SimRng::seed_from(3));
+        for n in a.nodes() {
+            assert_eq!(a.neighbors(n), b.neighbors(n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_k_panics() {
+        watts_strogatz(10, 3, 0.1, &LatencyModel::default(), &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn low_degree_panics() {
+        random_regular(10, 1, &LatencyModel::default(), &mut rng());
+    }
+}

@@ -1,0 +1,383 @@
+//! Multi-seed scenario execution.
+
+use crate::catalog::Scenario;
+use aria_core::World;
+use aria_metrics::{DeadlineStats, TrafficClass, TrafficLedger};
+use aria_sim::{Summary, TimeSeries};
+use aria_workload::JobGenerator;
+use std::collections::BTreeMap;
+
+/// Compact statistics of one `(scenario, seed)` simulation run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Seed of the run.
+    pub seed: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs abandoned after exhausting REQUEST rounds.
+    pub abandoned: usize,
+    /// Completed-jobs time series (Figure 1).
+    pub completed_series: TimeSeries,
+    /// Idle-nodes time series (Figures 3, 5, 6).
+    pub idle_series: TimeSeries,
+    /// Waiting times, seconds (Figure 2).
+    pub waiting: Summary,
+    /// Execution times, seconds (Figure 2).
+    pub execution: Summary,
+    /// Completion times, seconds (Figures 2, 7, 8, 9).
+    pub completion: Summary,
+    /// Median completion time, seconds.
+    pub completion_p50: f64,
+    /// 95th-percentile completion time, seconds.
+    pub completion_p95: f64,
+    /// Deadline statistics (Figure 4).
+    pub deadline: DeadlineStats,
+    /// Message traffic (Figure 10).
+    pub traffic: TrafficLedger,
+    /// Total dynamic reschedules across jobs.
+    pub reschedules: f64,
+}
+
+/// All runs of one scenario plus cross-seed aggregation helpers.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The scenario.
+    pub scenario: Scenario,
+    /// Per-seed run statistics.
+    pub runs: Vec<RunStats>,
+}
+
+impl ScenarioResult {
+    /// Point-wise average of the completed-jobs series across seeds.
+    pub fn avg_completed_series(&self) -> TimeSeries {
+        TimeSeries::average(self.runs.iter().map(|r| &r.completed_series))
+            .expect("runs share one sampling period")
+    }
+
+    /// Point-wise average of the idle-nodes series across seeds.
+    pub fn avg_idle_series(&self) -> TimeSeries {
+        TimeSeries::average(self.runs.iter().map(|r| &r.idle_series))
+            .expect("runs share one sampling period")
+    }
+
+    /// Waiting-time summary merged across seeds (seconds).
+    pub fn waiting(&self) -> Summary {
+        self.merge(|r| r.waiting)
+    }
+
+    /// Execution-time summary merged across seeds (seconds).
+    pub fn execution(&self) -> Summary {
+        self.merge(|r| r.execution)
+    }
+
+    /// Completion-time summary merged across seeds (seconds).
+    pub fn completion(&self) -> Summary {
+        self.merge(|r| r.completion)
+    }
+
+    fn merge(&self, pick: impl Fn(&RunStats) -> Summary) -> Summary {
+        let mut merged = Summary::new();
+        for run in &self.runs {
+            merged.merge(&pick(run));
+        }
+        merged
+    }
+
+    /// Average per-run missed deadlines.
+    pub fn avg_missed_deadlines(&self) -> f64 {
+        self.runs.iter().map(|r| r.deadline.missed() as f64).sum::<f64>()
+            / self.runs.len().max(1) as f64
+    }
+
+    /// Average lateness (slack of met deadlines) across runs, seconds.
+    pub fn avg_lateness_secs(&self) -> f64 {
+        self.runs.iter().map(|r| r.deadline.avg_lateness().as_secs_f64()).sum::<f64>()
+            / self.runs.len().max(1) as f64
+    }
+
+    /// Average missed time across runs, seconds.
+    pub fn avg_missed_time_secs(&self) -> f64 {
+        self.runs.iter().map(|r| r.deadline.avg_missed_time().as_secs_f64()).sum::<f64>()
+            / self.runs.len().max(1) as f64
+    }
+
+    /// Average per-run message count for a traffic class.
+    pub fn avg_messages(&self, class: TrafficClass) -> f64 {
+        self.runs.iter().map(|r| r.traffic.messages(class) as f64).sum::<f64>()
+            / self.runs.len().max(1) as f64
+    }
+
+    /// Average per-run bytes for a traffic class.
+    pub fn avg_bytes(&self, class: TrafficClass) -> f64 {
+        self.avg_messages(class) * class.message_bytes() as f64
+    }
+
+    /// Average per-run total bytes across classes.
+    pub fn avg_total_bytes(&self) -> f64 {
+        TrafficClass::ALL.iter().map(|&c| self.avg_bytes(c)).sum()
+    }
+
+    /// Average per-run dynamic reschedule count.
+    pub fn avg_reschedules(&self) -> f64 {
+        self.runs.iter().map(|r| r.reschedules).sum::<f64>() / self.runs.len().max(1) as f64
+    }
+
+    /// Median completion time averaged across runs, seconds.
+    pub fn avg_completion_p50(&self) -> f64 {
+        self.runs.iter().map(|r| r.completion_p50).sum::<f64>() / self.runs.len().max(1) as f64
+    }
+
+    /// 95th-percentile completion time averaged across runs, seconds.
+    pub fn avg_completion_p95(&self) -> f64 {
+        self.runs.iter().map(|r| r.completion_p95).sum::<f64>() / self.runs.len().max(1) as f64
+    }
+
+    /// Average completed jobs per run.
+    pub fn avg_completed(&self) -> f64 {
+        self.runs.iter().map(|r| r.completed as f64).sum::<f64>()
+            / self.runs.len().max(1) as f64
+    }
+}
+
+/// Executes scenarios across seeds.
+///
+/// At paper scale each run simulates 500-700 nodes for 41h40m of grid
+/// time; [`Runner::scaled`] provides a shrunken variant for tests,
+/// examples and quick iterations.
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    /// Override for the node count (`None` = paper scale).
+    nodes: Option<usize>,
+    /// Override for the job count (`None` = paper scale).
+    jobs: Option<usize>,
+    /// Worker threads for the seed fan-out.
+    workers: usize,
+}
+
+impl Runner {
+    /// A full paper-scale runner.
+    pub fn paper() -> Self {
+        Runner { nodes: None, jobs: None, workers: Self::default_workers() }
+    }
+
+    /// A scaled-down runner with the given node and job counts
+    /// (submission interval and horizon are kept, so load *per node*
+    /// rises as the grid shrinks).
+    pub fn scaled(nodes: usize, jobs: usize) -> Self {
+        Runner { nodes: Some(nodes), jobs: Some(jobs), workers: Self::default_workers() }
+    }
+
+    /// Sets the number of worker threads (builder-style).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    fn default_workers() -> usize {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+
+    /// The node count used for `fallback`-sized worlds under this
+    /// runner's scale overrides.
+    pub fn nodes_or(&self, fallback: usize) -> usize {
+        self.nodes.unwrap_or(fallback)
+    }
+
+    /// The submission schedule for a scenario under this runner's scale
+    /// overrides.
+    pub fn schedule_for(&self, scenario: Scenario) -> aria_workload::SubmissionSchedule {
+        let schedule = scenario.submission_schedule();
+        match self.jobs {
+            Some(jobs) => aria_workload::SubmissionSchedule::new(
+                schedule.start(),
+                schedule.interval(),
+                jobs,
+            ),
+            None => schedule,
+        }
+    }
+
+    /// Builds the world for one run of `scenario` (applying any scale
+    /// overrides) and executes it with the scenario's workload.
+    pub fn run_once(&self, scenario: Scenario, seed: u64) -> RunStats {
+        let mut config = scenario.world_config();
+        if let Some(nodes) = self.nodes {
+            let shrink = nodes as f64 / config.nodes as f64;
+            config.nodes = nodes;
+            // Scale the expanding-scenario joins with the grid.
+            let keep = (config.joins.len() as f64 * shrink).round() as usize;
+            config.joins.truncate(keep);
+            // Small overlays cannot sustain a 9-hop average path bound.
+            config.overlay_path_length = config.overlay_path_length.min((nodes as f64).log2());
+        }
+        let schedule = self.schedule_for(scenario);
+
+        let mut world = World::new(config, seed);
+        let mut generator = JobGenerator::new(scenario.job_config());
+        world.submit_schedule(&schedule, &mut generator);
+        world.run();
+
+        let metrics = world.metrics();
+        let completions: Vec<f64> = metrics
+            .records()
+            .values()
+            .filter_map(|r| r.completion_time())
+            .map(|d| d.as_secs_f64())
+            .collect();
+        RunStats {
+            seed,
+            completed: metrics.completed_count(),
+            abandoned: world.abandoned_jobs().len(),
+            completed_series: metrics.completed_series().clone(),
+            idle_series: metrics.idle_series().clone(),
+            waiting: metrics.waiting_summary(),
+            execution: metrics.execution_summary(),
+            completion: metrics.completion_summary(),
+            completion_p50: aria_sim::stats::percentile(&completions, 0.5),
+            completion_p95: aria_sim::stats::percentile(&completions, 0.95),
+            deadline: metrics.deadline_stats(),
+            traffic: *metrics.traffic(),
+            reschedules: metrics.reschedule_summary().sum(),
+        }
+    }
+
+    /// Runs one scenario over the given seeds.
+    pub fn run(&self, scenario: Scenario, seeds: &[u64]) -> ScenarioResult {
+        let results = self.run_many(&[scenario], seeds);
+        results.into_iter().next().expect("one scenario requested")
+    }
+
+    /// Runs several scenarios over the given seeds, fanning the
+    /// `(scenario, seed)` pairs out over worker threads.
+    pub fn run_many(&self, scenarios: &[Scenario], seeds: &[u64]) -> Vec<ScenarioResult> {
+        let pairs: Vec<(usize, Scenario, u64)> = scenarios
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &s)| seeds.iter().map(move |&seed| (i, s, seed)))
+            .collect();
+
+        let mut by_scenario: BTreeMap<usize, Vec<RunStats>> = BTreeMap::new();
+        if self.workers <= 1 || pairs.len() <= 1 {
+            for (i, scenario, seed) in pairs {
+                by_scenario.entry(i).or_default().push(self.run_once(scenario, seed));
+            }
+        } else {
+            let (result_tx, result_rx) = crossbeam::channel::unbounded();
+            let (work_tx, work_rx) = crossbeam::channel::unbounded();
+            for pair in &pairs {
+                work_tx.send(*pair).expect("queueing work");
+            }
+            drop(work_tx);
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..self.workers.min(pairs.len()) {
+                    let work_rx = work_rx.clone();
+                    let result_tx = result_tx.clone();
+                    scope.spawn(move |_| {
+                        while let Ok((i, scenario, seed)) = work_rx.recv() {
+                            let stats = self.run_once(scenario, seed);
+                            result_tx.send((i, stats)).expect("reporting result");
+                        }
+                    });
+                }
+                drop(result_tx);
+                while let Ok((i, stats)) = result_rx.recv() {
+                    by_scenario.entry(i).or_default().push(stats);
+                }
+            })
+            .expect("scenario worker panicked");
+        }
+
+        by_scenario
+            .into_iter()
+            .map(|(i, mut runs)| {
+                runs.sort_by_key(|r| r.seed);
+                ScenarioResult { scenario: scenarios[i], runs }
+            })
+            .collect()
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Runner {
+        Runner::scaled(30, 15)
+    }
+
+    #[test]
+    fn run_once_completes_all_jobs() {
+        let stats = tiny().run_once(Scenario::IMixed, 3);
+        assert_eq!(stats.completed, 15);
+        assert_eq!(stats.abandoned, 0);
+        assert_eq!(stats.completion.count(), 15);
+        assert!(stats.traffic.total_messages() > 0);
+    }
+
+    #[test]
+    fn run_aggregates_over_seeds() {
+        let result = tiny().run(Scenario::Mixed, &[1, 2]);
+        assert_eq!(result.runs.len(), 2);
+        assert_eq!(result.runs[0].seed, 1);
+        assert_eq!(result.runs[1].seed, 2);
+        assert_eq!(result.completion().count(), 30);
+        assert_eq!(result.avg_completed(), 15.0);
+        let avg = result.avg_completed_series();
+        assert!(!avg.is_empty());
+        assert_eq!(*avg.values().last().unwrap(), 15.0);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_mean() {
+        let result = tiny().run(Scenario::IMixed, &[4]);
+        let run = &result.runs[0];
+        assert!(run.completion_p50 > 0.0);
+        assert!(run.completion_p95 >= run.completion_p50);
+        assert!(run.completion.min() <= result.avg_completion_p50());
+        assert!(result.avg_completion_p95() <= run.completion.max());
+    }
+
+    #[test]
+    fn run_many_keeps_scenario_order() {
+        let results = tiny().run_many(&[Scenario::Mixed, Scenario::IMixed], &[1]);
+        assert_eq!(results[0].scenario, Scenario::Mixed);
+        assert_eq!(results[1].scenario, Scenario::IMixed);
+    }
+
+    #[test]
+    fn plain_scenarios_have_no_inform_traffic() {
+        let result = tiny().run(Scenario::Mixed, &[5]);
+        assert_eq!(result.avg_messages(TrafficClass::Inform), 0.0);
+        assert_eq!(result.avg_reschedules(), 0.0);
+    }
+
+    #[test]
+    fn deadline_scenario_reports_deadline_stats() {
+        let result = tiny().run(Scenario::IDeadline, &[7]);
+        let run = &result.runs[0];
+        assert_eq!(run.deadline.met() + run.deadline.missed(), run.completed);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let serial = tiny().workers(1).run(Scenario::Mixed, &[1, 2]);
+        let parallel = tiny().workers(4).run(Scenario::Mixed, &[1, 2]);
+        assert_eq!(serial.completion().mean(), parallel.completion().mean());
+        assert_eq!(
+            serial.avg_messages(TrafficClass::Request),
+            parallel.avg_messages(TrafficClass::Request)
+        );
+    }
+
+    #[test]
+    fn scaled_runner_shrinks_expanding_joins() {
+        let stats = Runner::scaled(50, 10).run_once(Scenario::IExpanding, 2);
+        assert_eq!(stats.completed, 10);
+    }
+}

@@ -1,0 +1,255 @@
+//! Seeded randomness for reproducible simulation runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random number source.
+///
+/// Wraps [`StdRng`] behind a small domain-oriented API so that the rest of
+/// the workspace never touches `rand` traits directly, and so that a run
+/// is a pure function of its seed. Independent sub-streams can be split
+/// off with [`SimRng::fork`] to decorrelate components (topology vs.
+/// workload vs. protocol jitter) while keeping every stream reproducible.
+///
+/// # Example
+///
+/// ```
+/// use aria_sim::SimRng;
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Splits off an independent, reproducible sub-stream.
+    ///
+    /// The child stream is keyed by both the parent state and `stream`, so
+    /// distinct labels yield decorrelated generators.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let base = self.inner.next_u64();
+        SimRng::seed_from(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform `f64` in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn f64_range(&mut self, low: f64, high: f64) -> f64 {
+        assert!(low < high, "empty range [{low}, {high})");
+        self.inner.random_range(low..high)
+    }
+
+    /// Uniform `u64` in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn u64_range(&mut self, low: u64, high: u64) -> u64 {
+        assert!(low < high, "empty range [{low}, {high})");
+        self.inner.random_range(low..high)
+    }
+
+    /// Uniform index in `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "cannot sample an index from an empty collection");
+        self.inner.random_range(0..len)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Uniformly chooses one element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Chooses up to `n` distinct elements of a slice, uniformly without
+    /// replacement (partial Fisher-Yates over indices).
+    pub fn choose_multiple<T: Clone>(&mut self, items: &[T], n: usize) -> Vec<T> {
+        let take = n.min(items.len());
+        let mut idx: Vec<usize> = (0..items.len()).collect();
+        for i in 0..take {
+            let j = i + self.index(idx.len() - i);
+            idx.swap(i, j);
+        }
+        idx[..take].iter().map(|&i| items[i].clone()).collect()
+    }
+
+    /// Samples an index from a discrete distribution given by `weights`.
+    ///
+    /// Weights need not be normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must be non-empty with positive sum");
+        let mut target = self.f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if target < *w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Standard normal sample via the Box-Muller transform.
+    ///
+    /// Implemented locally to avoid an extra dependency on `rand_distr`.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Guard against log(0).
+        let u1 = (1.0 - self.f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Shuffles a slice in place (Fisher-Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_streams_are_reproducible_and_distinct() {
+        let mut parent1 = SimRng::seed_from(9);
+        let mut parent2 = SimRng::seed_from(9);
+        let mut c1 = parent1.fork(1);
+        let mut c2 = parent2.fork(1);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+
+        let mut parent = SimRng::seed_from(9);
+        let mut a = parent.fork(1);
+        let mut parent = SimRng::seed_from(9);
+        let mut b = parent.fork(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            let x = rng.f64_range(2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+            let y = rng.u64_range(10, 20);
+            assert!((10..20).contains(&y));
+            let i = rng.index(7);
+            assert!(i < 7);
+        }
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_bounded() {
+        let mut rng = SimRng::seed_from(77);
+        let items: Vec<u32> = (0..50).collect();
+        for n in [0, 1, 5, 50, 80] {
+            let picked = rng.choose_multiple(&items, n);
+            assert_eq!(picked.len(), n.min(items.len()));
+            let mut sorted = picked.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), picked.len(), "duplicates in sample");
+        }
+    }
+
+    #[test]
+    fn weighted_index_tracks_weights() {
+        let mut rng = SimRng::seed_from(42);
+        let weights = [0.872, 0.11, 0.012, 0.002, 0.002, 0.002];
+        let mut counts = [0usize; 6];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        let freq0 = counts[0] as f64 / n as f64;
+        assert!((freq0 - 0.872).abs() < 0.01, "freq0 = {freq0}");
+        assert!(counts[1] > counts[2]);
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = SimRng::seed_from(31);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean = {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_index_panics() {
+        SimRng::seed_from(0).index(0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the simulation kernel: event ordering,
+//! statistics algebra and time arithmetic.
+
+use aria_sim::{stats, EventQueue, SimDuration, SimRng, SimTime, Summary, TimeSeries};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue is a stable priority queue: output is sorted by
+    /// time, and equal-time events keep insertion order.
+    #[test]
+    fn event_queue_is_stable_and_sorted(times in proptest::collection::vec(0u64..1000, 0..300)) {
+        let mut queue = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            queue.schedule(SimTime::from_millis(t), (t, i));
+        }
+        let mut out = Vec::new();
+        while let Some((at, (t, i))) = queue.pop() {
+            prop_assert_eq!(at, SimTime::from_millis(t));
+            out.push((t, i));
+        }
+        prop_assert_eq!(out.len(), times.len());
+        // Sorted by (time, insertion index): exactly a stable sort.
+        let mut expected: Vec<(u64, usize)> = times.iter().copied().zip(0..).collect();
+        expected.sort_by_key(|&(t, i)| (t, i));
+        prop_assert_eq!(out, expected);
+    }
+
+    /// Summary::merge is associative with respect to the data: merging
+    /// partitions equals summarizing the concatenation.
+    #[test]
+    fn summary_merge_equals_concatenation(
+        left in proptest::collection::vec(-1e6f64..1e6, 0..100),
+        right in proptest::collection::vec(-1e6f64..1e6, 0..100),
+    ) {
+        let mut merged: Summary = left.iter().copied().collect();
+        let rhs: Summary = right.iter().copied().collect();
+        merged.merge(&rhs);
+        let full: Summary = left.iter().chain(right.iter()).copied().collect();
+        prop_assert_eq!(merged.count(), full.count());
+        prop_assert!((merged.mean() - full.mean()).abs() <= 1e-6 * (1.0 + full.mean().abs()));
+        prop_assert!(
+            (merged.variance() - full.variance()).abs()
+                <= 1e-5 * (1.0 + full.variance().abs())
+        );
+        prop_assert_eq!(merged.min(), full.min());
+        prop_assert_eq!(merged.max(), full.max());
+    }
+
+    /// Percentiles are order statistics: within [min, max], monotone in q,
+    /// and members of the sample.
+    #[test]
+    fn percentile_is_an_order_statistic(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let p_lo = stats::percentile(&values, lo);
+        let p_hi = stats::percentile(&values, hi);
+        prop_assert!(p_lo <= p_hi);
+        prop_assert!(values.contains(&p_lo));
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p_lo >= min && p_hi <= max);
+    }
+
+    /// Time arithmetic: (t + d) - d == t and saturating_since is the
+    /// inverse of addition.
+    #[test]
+    fn time_arithmetic_round_trips(t in 0u64..1_000_000_000, d in 0u64..1_000_000) {
+        let time = SimTime::from_millis(t);
+        let duration = SimDuration::from_millis(d);
+        let later = time + duration;
+        prop_assert_eq!(later - duration, time);
+        prop_assert_eq!(later.saturating_since(time), duration);
+        prop_assert_eq!(time.saturating_since(later), SimDuration::ZERO);
+        prop_assert_eq!(later.signed_delta(time), d as i64);
+    }
+
+    /// Duration scaling: div then mul by the same factor stays within
+    /// rounding error of the original.
+    #[test]
+    fn duration_scaling_round_trips(ms in 1000u64..100_000_000, factor in 1.0f64..2.0) {
+        let d = SimDuration::from_millis(ms);
+        let there_and_back = d.div_f64(factor).mul_f64(factor);
+        let error = there_and_back.as_millis().abs_diff(d.as_millis());
+        prop_assert!(error <= 2, "{d} -> {there_and_back}");
+    }
+
+    /// Forked RNG streams are reproducible and chance() frequencies track
+    /// their probability.
+    #[test]
+    fn rng_forks_reproduce(seed in any::<u64>(), stream in any::<u64>()) {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        let mut fa = a.fork(stream);
+        let mut fb = b.fork(stream);
+        for _ in 0..16 {
+            prop_assert_eq!(fa.next_u64(), fb.next_u64());
+        }
+    }
+
+    /// TimeSeries::average of identical series is the series itself, and
+    /// thinning preserves the first sample.
+    #[test]
+    fn series_average_identity(values in proptest::collection::vec(-1e3f64..1e3, 1..50)) {
+        let mut ts = TimeSeries::new(SimDuration::from_mins(1));
+        for &v in &values {
+            ts.push(v);
+        }
+        let avg = TimeSeries::average([&ts, &ts]).unwrap();
+        prop_assert_eq!(avg.values(), ts.values());
+        let thinned = ts.thin(3);
+        prop_assert_eq!(thinned.values()[0], values[0]);
+    }
+}

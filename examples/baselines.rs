@@ -1,0 +1,111 @@
+//! ARiA against its comparators: an omniscient centralized
+//! meta-scheduler (the architecture the paper argues against) and the
+//! multiple-simultaneous-requests scheme of the paper's reference [13].
+//!
+//! ```text
+//! cargo run --release -p aria-scenarios --example baselines
+//! ```
+
+use aria_core::{CentralScheduler, GossipScheduler, MultiRequestScheduler, PolicyMix, World, WorldConfig};
+use aria_sim::{SimDuration, SimTime};
+use aria_workload::{JobGenerator, SubmissionSchedule};
+
+const NODES: usize = 100;
+const JOBS: usize = 300;
+
+fn schedule() -> SubmissionSchedule {
+    SubmissionSchedule::new(SimTime::from_mins(5), SimDuration::from_secs(10), JOBS)
+}
+
+fn main() {
+    println!("{JOBS} jobs over {NODES} nodes, three schedulers:\n");
+    println!("{:<28} {:>12} {:>10} {:>14}", "scheduler", "completion", "waiting", "messages");
+
+    {
+        let seed = 1u64;
+        // 1. ARiA: fully distributed, with dynamic rescheduling.
+        let mut world = World::new(WorldConfig::small_test(NODES), seed);
+        let mut jobs = JobGenerator::paper_batch();
+        world.submit_schedule(&schedule(), &mut jobs);
+        world.run();
+        let m = world.metrics();
+        println!(
+            "{:<28} {:>9.1}min {:>7.1}min {:>14}",
+            "ARiA (distributed)",
+            m.completion_summary().mean() / 60.0,
+            m.waiting_summary().mean() / 60.0,
+            m.traffic().total_messages(),
+        );
+
+        // 2. Centralized omniscient scheduler: perfect knowledge, no
+        //    messages — the upper bound ARiA gives up for scalability.
+        let mut central = CentralScheduler::new(
+            NODES,
+            PolicyMix::paper_mixed(),
+            SimTime::from_hours(12),
+            SimDuration::from_mins(5),
+            seed,
+        );
+        let mut jobs = JobGenerator::paper_batch();
+        central.submit_schedule(&schedule(), &mut jobs);
+        central.run();
+        let m = central.metrics();
+        println!(
+            "{:<28} {:>9.1}min {:>7.1}min {:>14}",
+            "centralized (omniscient)",
+            m.completion_summary().mean() / 60.0,
+            m.waiting_summary().mean() / 60.0,
+            0,
+        );
+
+        // 3. Gossip dissemination: placements from cached (stale) state.
+        let mut gossip = GossipScheduler::new(
+            NODES,
+            PolicyMix::paper_mixed(),
+            SimTime::from_hours(12),
+            SimDuration::from_mins(5),
+            seed,
+        );
+        let mut jobs = JobGenerator::paper_batch();
+        gossip.submit_schedule(&schedule(), &mut jobs);
+        gossip.run();
+        let m = gossip.metrics();
+        println!(
+            "{:<28} {:>9.1}min {:>7.1}min {:>14}",
+            "gossip caches [25]",
+            m.completion_summary().mean() / 60.0,
+            m.waiting_summary().mean() / 60.0,
+            m.traffic().total_messages(),
+        );
+
+        // 4. Multiple simultaneous requests (k = 3) with revocation.
+        let mut multi = MultiRequestScheduler::new(
+            NODES,
+            PolicyMix::paper_mixed(),
+            3,
+            SimTime::from_hours(12),
+            SimDuration::from_mins(5),
+            seed,
+        );
+        let mut jobs = JobGenerator::paper_batch();
+        multi.submit_schedule(&schedule(), &mut jobs);
+        multi.run();
+        let m = multi.metrics();
+        println!(
+            "{:<28} {:>9.1}min {:>7.1}min {:>14}",
+            "multi-request (k=3) [13]",
+            m.completion_summary().mean() / 60.0,
+            m.waiting_summary().mean() / 60.0,
+            format!("{} revoked", multi.revoked_replicas()),
+        );
+    }
+
+    println!(
+        "\nthe centralized scheduler makes the best possible *static*\n\
+         placement — yet ARiA tends to beat it, because dynamic\n\
+         rescheduling keeps correcting placements as queues evolve.\n\
+         the multi-request scheme gets late binding too, but pays with\n\
+         cancelled replicas clogging the queues (the drawback §II points\n\
+         out); ARiA moves jobs without ever double-enqueuing them."
+    );
+}

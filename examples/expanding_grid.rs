@@ -1,0 +1,41 @@
+//! An expanding grid: new nodes join while the workload is running, and
+//! dynamic rescheduling moves waiting jobs onto the fresh resources (the
+//! paper's Figure 5, scaled down).
+//!
+//! ```text
+//! cargo run --release -p aria-scenarios --example expanding_grid
+//! ```
+
+use aria_scenarios::{Runner, Scenario};
+use aria_sim::SimTime;
+
+fn main() {
+    let runner = Runner::scaled(150, 400);
+    let seeds = [1, 2, 3];
+
+    let results = runner.run_many(&[Scenario::Expanding, Scenario::IExpanding], &seeds);
+
+    // Compare idle-node counts at a few instants around the growth phase.
+    println!("idle nodes over time (growth starts at 1h23m):");
+    println!("{:>8} {:>12} {:>12}", "time", "Expanding", "iExpanding");
+    for hours in [1, 2, 3, 4, 6, 8] {
+        let t = SimTime::from_hours(hours);
+        let plain = results[0].avg_idle_series().value_at(t).unwrap_or(0.0);
+        let resched = results[1].avg_idle_series().value_at(t).unwrap_or(0.0);
+        println!("{:>7}h {:>12.1} {:>12.1}", hours, plain, resched);
+    }
+
+    println!("\nscenario    completion  waiting");
+    for r in &results {
+        println!(
+            "{:11} {:7.1}min {:6.1}min",
+            r.scenario.name(),
+            r.completion().mean() / 60.0,
+            r.waiting().mean() / 60.0,
+        );
+    }
+    println!(
+        "\nwith rescheduling, jobs migrate onto newly joined nodes instead of\n\
+         waiting in the queues they were first assigned to."
+    );
+}

@@ -1,0 +1,57 @@
+//! Replaying a Standard Workload Format (SWF) trace through the ARiA
+//! grid — the pipeline for the paper's future-work item on "full-scale
+//! evaluation with real grid workload traces" (§VI).
+//!
+//! Real archive traces are not redistributable, so this example
+//! synthesizes one with the paper's distributions, writes it to disk as
+//! a bona-fide `.swf` file, reads it back, and replays it. Point the
+//! parser at a file from the Parallel/Grid Workloads Archives and the
+//! rest of the pipeline is unchanged.
+//!
+//! ```text
+//! cargo run --release -p aria-scenarios --example trace_replay
+//! ```
+
+use aria_core::{World, WorldConfig};
+use aria_sim::SimRng;
+use aria_trace::{ReplayConfig, SwfTrace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SimRng::seed_from(4);
+
+    // 1. Synthesize a 500-job trace and round-trip it through the SWF
+    //    text format (exactly what reading an archive file looks like).
+    let trace = SwfTrace::synthesize(500, &mut rng);
+    let path = std::env::temp_dir().join("aria_synthetic.swf");
+    std::fs::write(&path, trace.to_string())?;
+    let text = std::fs::read_to_string(&path)?;
+    let trace: SwfTrace = text.parse()?;
+    println!("loaded {} jobs from {}", trace.len(), path.display());
+    println!("header: {:?}", trace.header.first());
+
+    // 2. Map trace rows onto ARiA submissions. SWF has no architecture/OS
+    //    fields, so those are sampled from the paper's distributions.
+    let submissions = trace.replay(&ReplayConfig::default(), &mut rng);
+
+    // 3. Run them through a grid.
+    let mut world = World::new(WorldConfig::small_test(150), 4);
+    for (at, job) in submissions {
+        world.submit_job(at, job);
+    }
+    world.run();
+    let metrics = world.metrics();
+
+    println!(
+        "completed {}/{} trace jobs; mean completion {:.1} min (waiting {:.1} min)",
+        metrics.completed_count(),
+        trace.len(),
+        metrics.completion_summary().mean() / 60.0,
+        metrics.waiting_summary().mean() / 60.0,
+    );
+    println!(
+        "dynamic reschedules: {:.0}; traffic {:.2} MB",
+        metrics.reschedule_summary().sum(),
+        metrics.traffic().total_bytes() as f64 / 1e6,
+    );
+    Ok(())
+}

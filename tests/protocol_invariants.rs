@@ -1,0 +1,224 @@
+//! Property-based integration tests: protocol safety invariants that must
+//! hold for *any* workload and seed.
+
+use aria_core::{AriaConfig, PolicyMix, World, WorldConfig};
+use aria_grid::Policy;
+use aria_metrics::TrafficClass;
+use aria_overlay::NodeId;
+use aria_sim::{SimDuration, SimTime};
+use aria_workload::{JobGenerator, JobGeneratorConfig, SubmissionSchedule};
+use proptest::prelude::*;
+
+/// Builds and runs a small world from fuzzed parameters, returning it for
+/// inspection.
+fn run_world(
+    seed: u64,
+    nodes: usize,
+    job_count: usize,
+    interval_secs: u64,
+    rescheduling: bool,
+    deadline: bool,
+) -> World {
+    let mut config = WorldConfig::small_test(nodes);
+    config.aria.rescheduling = rescheduling;
+    if deadline {
+        config.policies = PolicyMix::Uniform(Policy::Edf);
+    }
+    let mut world = World::new(config, seed);
+    let job_config = if deadline {
+        JobGeneratorConfig::paper_deadline()
+    } else {
+        JobGeneratorConfig::paper_batch()
+    };
+    let mut jobs = JobGenerator::new(job_config);
+    let schedule = SubmissionSchedule::new(
+        SimTime::from_mins(2),
+        SimDuration::from_secs(interval_secs),
+        job_count,
+    );
+    world.submit_schedule(&schedule, &mut jobs);
+    world.run();
+    world
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Liveness + uniqueness: every feasible job completes exactly once,
+    /// executes after submission, and runs on a node matching its
+    /// requirements.
+    #[test]
+    fn jobs_complete_once_on_matching_nodes(
+        seed in 0u64..1000,
+        nodes in 15usize..60,
+        job_count in 5usize..40,
+        interval in 5u64..120,
+        rescheduling in any::<bool>(),
+        deadline in any::<bool>(),
+    ) {
+        let world = run_world(seed, nodes, job_count, interval, rescheduling, deadline);
+        let metrics = world.metrics();
+        prop_assert_eq!(metrics.completed_count(), job_count as u64);
+        for record in metrics.records().values() {
+            prop_assert!(record.is_completed());
+            let started = record.started_at.unwrap();
+            prop_assert!(started >= record.submitted_at);
+            prop_assert!(record.completed_at.unwrap() > started);
+            prop_assert!(record.assignments >= 1);
+            prop_assert_eq!(record.reschedules, record.assignments - 1);
+            // Completion decomposes into waiting + execution.
+            let completion = record.completion_time().unwrap();
+            prop_assert_eq!(
+                completion,
+                record.waiting_time().unwrap() + record.execution_time().unwrap()
+            );
+        }
+    }
+
+    /// Matching safety: the executing node always satisfies the job's
+    /// requirement profile, under any policy mix.
+    #[test]
+    fn executions_respect_requirements(
+        seed in 0u64..1000,
+        rescheduling in any::<bool>(),
+    ) {
+        let world = run_world(seed, 40, 25, 20, rescheduling, false);
+        for record in world.metrics().records().values() {
+            let node = NodeId::new(record.executed_on.unwrap());
+            let profile = world.profile_of(node);
+            // Recover the job's requirements via the records' ERT plus the
+            // world's stored profiles: requirements are embedded in the
+            // spec, which the metrics layer does not keep, so re-derive
+            // feasibility from the matching invariant enforced at bid
+            // time: the executing node's policy must be a batch policy
+            // for batch jobs.
+            prop_assert!(world.policy_of(node).is_batch());
+            prop_assert!(profile.performance.value() >= 1.0);
+        }
+    }
+
+    /// Traffic sanity: without rescheduling there is no INFORM traffic;
+    /// with it, REQUEST traffic stays of the same order (rescheduling
+    /// must not perturb the submission phase).
+    #[test]
+    fn traffic_composition_is_sound(
+        seed in 0u64..1000,
+    ) {
+        let plain = run_world(seed, 40, 25, 20, false, false);
+        let dynamic = run_world(seed, 40, 25, 20, true, false);
+        let plain_traffic = plain.metrics().traffic();
+        let dynamic_traffic = dynamic.metrics().traffic();
+        prop_assert_eq!(plain_traffic.messages(TrafficClass::Inform), 0);
+        prop_assert!(plain_traffic.messages(TrafficClass::Request) > 0);
+        prop_assert!(dynamic_traffic.messages(TrafficClass::Request) > 0);
+        // ASSIGN messages never exceed total assignments.
+        let assigns: u32 = dynamic
+            .metrics()
+            .records()
+            .values()
+            .map(|r| r.assignments)
+            .sum();
+        prop_assert!(dynamic_traffic.messages(TrafficClass::Assign) <= assigns as u64);
+    }
+
+    /// Determinism: identical `(config, seed, workload)` yields identical
+    /// results, message for message.
+    #[test]
+    fn runs_are_reproducible(
+        seed in 0u64..1000,
+        rescheduling in any::<bool>(),
+    ) {
+        let a = run_world(seed, 30, 15, 30, rescheduling, false);
+        let b = run_world(seed, 30, 15, 30, rescheduling, false);
+        prop_assert_eq!(
+            a.metrics().completion_summary().mean(),
+            b.metrics().completion_summary().mean()
+        );
+        prop_assert_eq!(
+            a.metrics().traffic().total_messages(),
+            b.metrics().traffic().total_messages()
+        );
+        prop_assert_eq!(a.metrics().idle_series().values(), b.metrics().idle_series().values());
+    }
+
+    /// Churn accounting identity: with arbitrary crash schedules, every
+    /// submitted job is either completed, explicitly lost, or abandoned —
+    /// none vanish, none complete twice.
+    #[test]
+    fn crash_accounting_is_exhaustive(
+        seed in 0u64..1000,
+        crash_count in 0usize..8,
+        first_crash_mins in 10u64..120,
+        crash_gap_mins in 1u64..30,
+        failsafe in any::<bool>(),
+    ) {
+        let mut config = WorldConfig::small_test(35);
+        config.failsafe = failsafe;
+        config.crashes = (0..crash_count as u64)
+            .map(|i| aria_sim::SimTime::from_mins(first_crash_mins + crash_gap_mins * i))
+            .collect();
+        let mut world = World::new(config, seed);
+        let mut jobs = JobGenerator::new(JobGeneratorConfig::paper_batch());
+        let schedule = SubmissionSchedule::new(
+            SimTime::from_mins(2),
+            SimDuration::from_secs(30),
+            25,
+        );
+        world.submit_schedule(&schedule, &mut jobs);
+        world.run();
+        let completed = world.metrics().completed_count() as usize;
+        let lost = world.lost_jobs().len();
+        let abandoned = world.abandoned_jobs().len();
+        prop_assert_eq!(completed + lost + abandoned, 25,
+            "completed={} lost={} abandoned={}", completed, lost, abandoned);
+        // Completion records agree with the counter (no double completion).
+        let record_completed =
+            world.metrics().records().values().filter(|r| r.is_completed()).count();
+        prop_assert_eq!(record_completed, completed);
+        // Without a failsafe there are never recoveries.
+        if !failsafe {
+            prop_assert_eq!(world.recovered_count(), 0);
+        }
+    }
+
+    /// An unreachable rescheduling threshold disables job movement even
+    /// with the INFORM machinery running.
+    #[test]
+    fn huge_threshold_prevents_rescheduling(seed in 0u64..1000) {
+        let mut config = WorldConfig::small_test(30);
+        config.aria = AriaConfig {
+            reschedule_threshold: SimDuration::from_hours(10_000),
+            ..AriaConfig::default()
+        };
+        let mut world = World::new(config, seed);
+        let mut jobs = JobGenerator::new(JobGeneratorConfig::paper_batch());
+        let schedule =
+            SubmissionSchedule::new(SimTime::from_mins(2), SimDuration::from_secs(10), 30);
+        world.submit_schedule(&schedule, &mut jobs);
+        world.run();
+        prop_assert_eq!(world.metrics().completed_count(), 30);
+        prop_assert_eq!(world.metrics().reschedule_summary().sum(), 0.0);
+    }
+
+    /// Gauge consistency: idle-node counts never exceed the node count,
+    /// and the completed-jobs series is monotone, ending at the total.
+    #[test]
+    fn gauge_series_are_consistent(
+        seed in 0u64..1000,
+        nodes in 15usize..50,
+        rescheduling in any::<bool>(),
+    ) {
+        let world = run_world(seed, nodes, 20, 15, rescheduling, false);
+        let metrics = world.metrics();
+        for &idle in metrics.idle_series().values() {
+            prop_assert!(idle <= nodes as f64);
+            prop_assert!(idle >= 0.0);
+        }
+        let completed = metrics.completed_series().values();
+        prop_assert!(completed.windows(2).all(|w| w[0] <= w[1]));
+        // Sampling stops at the horizon; stragglers may drain afterwards,
+        // so the final sample is bounded by (and usually equals) the total.
+        prop_assert!(*completed.last().unwrap() <= 20.0);
+        prop_assert_eq!(metrics.completed_count(), 20);
+    }
+}
