@@ -1,0 +1,45 @@
+//! End-to-end hot-path benchmark: one full paper-scale `World::run`.
+//!
+//! This is the number the dense-state refactor is judged by — the iMixed
+//! baseline (500 mixed-policy nodes, 1000 jobs, rescheduling on) from
+//! submission to an empty event queue. The companion `bench_core` binary
+//! reports the same run as JSON (`BENCH_core.json`) with a determinism
+//! fingerprint; this bench gives criterion-tracked history, plus a
+//! smaller scaled variant quick enough for iterating.
+
+use aria_scenarios::{Runner, Scenario};
+use aria_workload::JobGenerator;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// The paper-scale baseline: 500 nodes, 1000 jobs, dynamic rescheduling.
+fn world_run_paper(c: &mut Criterion) {
+    let scenario = Scenario::IMixed;
+    let mut group = c.benchmark_group("world_run");
+    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    group.bench_function("imixed_500n_1000j", |b| {
+        b.iter(|| {
+            let mut world = aria_core::World::new(scenario.world_config(), 1);
+            let mut jobs = JobGenerator::new(scenario.job_config());
+            world.submit_schedule(&scenario.submission_schedule(), &mut jobs);
+            world.run();
+            black_box(world.metrics().completed_count())
+        })
+    });
+    group.finish();
+}
+
+/// A scaled-down run for quick comparisons while iterating.
+fn world_run_scaled(c: &mut Criterion) {
+    c.bench_function("world_run/scaled_60n_120j", |b| {
+        b.iter(|| {
+            let runner = Runner::scaled(60, 120);
+            let stats = runner.run_once(Scenario::IMixed, 1);
+            black_box(stats.completed)
+        })
+    });
+}
+
+criterion_group!(benches, world_run_paper, world_run_scaled);
+criterion_main!(benches);

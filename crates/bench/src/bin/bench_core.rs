@@ -1,0 +1,83 @@
+//! Hot-path benchmark harness: times paper-scale `World::run` and writes
+//! the numbers to `BENCH_core.json`.
+//!
+//! Runs the iMixed scenario (the paper's baseline: 500 mixed-policy nodes
+//! with dynamic rescheduling) end to end a few times, reports wall time
+//! and event throughput, and records a metrics fingerprint so before/after
+//! comparisons can also prove the run is bit-for-bit unchanged.
+//!
+//! ```text
+//! cargo run --release -p aria-bench --bin bench_core [-- OUTPUT.json]
+//! ```
+
+use aria_scenarios::Scenario;
+use aria_workload::JobGenerator;
+use std::time::Instant;
+
+const SEED: u64 = 1;
+const RUNS: usize = 5;
+
+fn main() {
+    let out_path =
+        std::env::args().nth(1).unwrap_or_else(|| "BENCH_core.json".to_string());
+    let scenario = Scenario::IMixed;
+    let config = scenario.world_config();
+    let nodes = config.nodes;
+    let schedule = scenario.submission_schedule();
+    let jobs = schedule.count();
+
+    eprintln!("bench_core: {scenario} at {nodes} nodes, {jobs} jobs, seed {SEED}, {RUNS} runs");
+
+    // One untimed warm-up run, which also provides the fingerprint.
+    let (fingerprint, _, events) = run_once(scenario, SEED);
+
+    let mut wall_secs = Vec::with_capacity(RUNS);
+    for i in 0..RUNS {
+        let (fp, secs, _) = run_once(scenario, SEED);
+        assert_eq!(fp, fingerprint, "run {i} diverged from warm-up fingerprint");
+        eprintln!("  run {i}: {secs:.3}s ({:.0} events/s)", events as f64 / secs);
+        wall_secs.push(secs);
+    }
+    wall_secs.sort_by(|a, b| a.total_cmp(b));
+    let median = wall_secs[wall_secs.len() / 2];
+
+    let json = format!(
+        "{{\n  \"scenario\": \"{scenario}\",\n  \"nodes\": {nodes},\n  \"jobs\": {jobs},\n  \
+         \"seed\": {SEED},\n  \"runs\": {RUNS},\n  \"wall_time_secs\": {{ \"min\": {min:.6}, \
+         \"median\": {median:.6}, \"max\": {max:.6} }},\n  \"events\": {events},\n  \
+         \"events_per_sec\": {eps:.0},\n  \"fingerprint\": {{ \"completed\": {completed}, \
+         \"messages\": {messages}, \"completion_mean_secs\": {mean:.6} }}\n}}\n",
+        min = wall_secs[0],
+        max = wall_secs[wall_secs.len() - 1],
+        eps = events as f64 / median,
+        completed = fingerprint.0,
+        messages = fingerprint.1,
+        mean = fingerprint.2,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    eprintln!("bench_core: median {median:.3}s -> {out_path}");
+    print!("{json}");
+}
+
+/// Runs the scenario once; returns (fingerprint, wall seconds, events).
+///
+/// The fingerprint (completed jobs, total messages, mean completion time)
+/// pins the run's observable results: any change to RNG draws, event
+/// ordering or protocol behavior shows up here.
+fn run_once(scenario: Scenario, seed: u64) -> ((u64, u64, f64), f64, u64) {
+    let config = scenario.world_config();
+    let schedule = scenario.submission_schedule();
+    let mut world = aria_core::World::new(config, seed);
+    let mut generator = JobGenerator::new(scenario.job_config());
+    world.submit_schedule(&schedule, &mut generator);
+    let start = Instant::now();
+    world.run();
+    let secs = start.elapsed().as_secs_f64();
+    let metrics = world.metrics();
+    let fingerprint = (
+        metrics.completed_count(),
+        metrics.traffic().total_messages(),
+        metrics.completion_summary().mean(),
+    );
+    (fingerprint, secs, world.processed_events())
+}

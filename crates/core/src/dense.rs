@@ -1,0 +1,316 @@
+//! Dense, allocation-free protocol state tables.
+//!
+//! The per-run hot path (one [`crate::World`] event per flood hop) used to
+//! chase `HashMap`s keyed by job and flood ids and to allocate a fresh
+//! `HashSet` visited-set per flood. Job and flood ids are dense by
+//! construction — the workload generator numbers jobs from zero and the
+//! world numbers floods as it opens them — so all of that state lives in
+//! plain `Vec`s here:
+//!
+//! * [`JobTable`] — one slot per job id holding the interned [`JobSpec`]
+//!   plus the initiator/assignee/pending-request tracking that used to be
+//!   three separate maps. Messages and events carry bare [`JobId`]s and
+//!   look the payload up on delivery.
+//! * [`FloodTable`] — one slot per *active* flood, recycled through a
+//!   free-list the moment a flood's last in-flight message lands, so a
+//!   whole run reuses a handful of slots (and their visited bitsets).
+//! * [`NodeBitset`] — a fixed-width bitset over node indices replacing the
+//!   per-flood `HashSet<NodeId>`; clearing for reuse is a word-fill, and
+//!   membership tests in the forwarding loop are single bit probes.
+
+use crate::msg::FloodId;
+use aria_grid::{Cost, JobId, JobSpec};
+use aria_overlay::NodeId;
+
+/// A bitset over node indices, sized in 64-bit words.
+///
+/// Out-of-range queries answer `false` and out-of-range inserts grow the
+/// set, so floods opened before an overlay join keep working after it.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct NodeBitset {
+    words: Vec<u64>,
+}
+
+impl NodeBitset {
+    /// An empty set with capacity for `nodes` indices.
+    pub fn with_capacity(nodes: usize) -> Self {
+        NodeBitset { words: vec![0; nodes.div_ceil(64)] }
+    }
+
+    /// Whether `node` is in the set.
+    pub fn contains(&self, node: NodeId) -> bool {
+        let index = node.index();
+        self.words.get(index / 64).is_some_and(|w| w & (1 << (index % 64)) != 0)
+    }
+
+    /// Inserts `node`, growing the set if needed. Returns `false` if the
+    /// node was already present.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let index = node.index();
+        if index / 64 >= self.words.len() {
+            self.words.resize(index / 64 + 1, 0);
+        }
+        let word = &mut self.words[index / 64];
+        let bit = 1 << (index % 64);
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
+
+    /// Empties the set, keeping its capacity (constant-time per word).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+/// Book-keeping for one active flood: duplicate suppression plus the
+/// in-flight message count that decides when the slot can be recycled.
+#[derive(Debug, Default)]
+pub(crate) struct FloodSlot {
+    /// Nodes this flood has already reached (selective flooding, \[28\]).
+    pub visited: NodeBitset,
+    /// Messages of this flood currently in flight.
+    pub in_flight: u32,
+}
+
+/// The active floods, indexed by [`FloodId`] and recycled via free-list.
+///
+/// A flood id stays valid exactly as long as messages of that flood are
+/// in flight; once the count drains to zero the world releases the slot
+/// and the id may be reissued. Callers therefore never hold a `FloodId`
+/// across a release.
+#[derive(Debug, Default)]
+pub(crate) struct FloodTable {
+    slots: Vec<FloodSlot>,
+    free: Vec<u32>,
+}
+
+impl FloodTable {
+    /// Opens a new flood originating at `origin`, reusing a drained slot
+    /// when one is available.
+    pub fn alloc(&mut self, origin: NodeId, nodes: usize) -> FloodId {
+        let id = match self.free.pop() {
+            Some(id) => {
+                let slot = &mut self.slots[id as usize];
+                slot.visited.clear();
+                debug_assert_eq!(slot.in_flight, 0, "recycled flood still in flight");
+                id
+            }
+            None => {
+                let id = u32::try_from(self.slots.len()).expect("fewer than 2^32 live floods");
+                self.slots.push(FloodSlot {
+                    visited: NodeBitset::with_capacity(nodes),
+                    in_flight: 0,
+                });
+                id
+            }
+        };
+        self.slots[id as usize].visited.insert(origin);
+        FloodId(id)
+    }
+
+    /// The slot of a live flood.
+    pub fn get(&self, id: FloodId) -> &FloodSlot {
+        &self.slots[id.0 as usize]
+    }
+
+    /// The slot of a live flood, mutably.
+    pub fn get_mut(&mut self, id: FloodId) -> &mut FloodSlot {
+        &mut self.slots[id.0 as usize]
+    }
+
+    /// Returns a drained flood's slot to the free-list.
+    pub fn release(&mut self, id: FloodId) {
+        debug_assert_eq!(self.slots[id.0 as usize].in_flight, 0, "release of in-flight flood");
+        debug_assert!(!self.free.contains(&id.0), "double release of {id}");
+        self.free.push(id.0);
+    }
+
+    /// How many slots were ever allocated (diagnostics only).
+    #[cfg(test)]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// An initiator's open offer collection for one job (§III-B).
+#[derive(Debug)]
+pub(crate) struct PendingRequest {
+    /// REQUEST round counter (retries re-flood with a fresh round).
+    pub round: u32,
+    /// Best offer so far.
+    pub best: Option<(Cost, NodeId)>,
+}
+
+/// Everything the world tracks per job, in one dense slot.
+#[derive(Debug)]
+pub(crate) struct JobSlot {
+    /// The job's full description, interned at submission; messages and
+    /// events carry only the [`JobId`].
+    pub spec: JobSpec,
+    /// The node the job was submitted to (set when the submission event
+    /// fires; carried in ASSIGN messages and driving the §III-D failsafe).
+    pub initiator: Option<NodeId>,
+    /// The node currently holding the job, if assigned.
+    pub assignee: Option<NodeId>,
+    /// The open offer collection, while the initiator is collecting.
+    pub pending: Option<PendingRequest>,
+}
+
+/// Per-job protocol state indexed by raw job id.
+///
+/// Job ids are dense in the simulator (the generator numbers them from
+/// zero), so the table is a `Vec` with one slot per id; sparse hand-picked
+/// ids in tests simply leave gaps.
+#[derive(Debug, Default)]
+pub(crate) struct JobTable {
+    slots: Vec<Option<JobSlot>>,
+}
+
+impl JobTable {
+    /// Interns a job's spec at submission time.
+    pub fn register(&mut self, spec: JobSpec) {
+        let index = spec.id.raw() as usize;
+        if index >= self.slots.len() {
+            self.slots.resize_with(index + 1, || None);
+        }
+        self.slots[index] =
+            Some(JobSlot { spec, initiator: None, assignee: None, pending: None });
+    }
+
+    /// The slot of a registered job.
+    pub fn slot(&self, id: JobId) -> &JobSlot {
+        self.slots[id.raw() as usize].as_ref().expect("job registered at submission")
+    }
+
+    /// The slot of a registered job, mutably.
+    pub fn slot_mut(&mut self, id: JobId) -> &mut JobSlot {
+        self.slots[id.raw() as usize].as_mut().expect("job registered at submission")
+    }
+
+    /// The job's interned spec.
+    pub fn spec(&self, id: JobId) -> JobSpec {
+        self.slot(id).spec
+    }
+
+    /// Removes and returns the job's open offer collection, if any.
+    pub fn take_pending(&mut self, id: JobId) -> Option<PendingRequest> {
+        self.slot_mut(id).pending.take()
+    }
+
+    /// Drops every open offer collection whose initiator is `node`,
+    /// returning the affected jobs (crash handling; rare).
+    pub fn drop_pending_of(&mut self, node: NodeId) -> Vec<JobId> {
+        let mut dropped = Vec::new();
+        for slot in self.slots.iter_mut().flatten() {
+            if slot.pending.is_some() && slot.initiator == Some(node) {
+                slot.pending = None;
+                dropped.push(slot.spec.id);
+            }
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aria_grid::{Architecture, JobRequirements, OperatingSystem};
+    use aria_sim::SimDuration;
+
+    fn spec(id: u64) -> JobSpec {
+        let req = JobRequirements::new(Architecture::Amd64, OperatingSystem::Linux, 1, 1);
+        JobSpec::batch(JobId::new(id), req, SimDuration::from_hours(1))
+    }
+
+    #[test]
+    fn bitset_inserts_and_contains() {
+        let mut set = NodeBitset::with_capacity(100);
+        assert!(!set.contains(NodeId::new(3)));
+        assert!(set.insert(NodeId::new(3)));
+        assert!(set.contains(NodeId::new(3)));
+        assert!(set.insert(NodeId::new(64))); // second word
+        assert!(set.contains(NodeId::new(64)));
+        assert!(!set.contains(NodeId::new(65)));
+    }
+
+    #[test]
+    fn bitset_double_visit_is_reported() {
+        let mut set = NodeBitset::with_capacity(10);
+        assert!(set.insert(NodeId::new(7)));
+        assert!(!set.insert(NodeId::new(7)), "second insert must report a duplicate");
+        assert!(set.contains(NodeId::new(7)));
+    }
+
+    #[test]
+    fn bitset_out_of_range_is_absent_and_insert_grows() {
+        let mut set = NodeBitset::with_capacity(10);
+        // Beyond capacity: contains answers false rather than panicking
+        // (floods opened before an overlay join see the new node ids).
+        assert!(!set.contains(NodeId::new(1000)));
+        assert!(set.insert(NodeId::new(1000)));
+        assert!(set.contains(NodeId::new(1000)));
+        assert!(!set.contains(NodeId::new(999)));
+    }
+
+    #[test]
+    fn bitset_clear_keeps_capacity() {
+        let mut set = NodeBitset::with_capacity(128);
+        set.insert(NodeId::new(90));
+        set.clear();
+        assert!(!set.contains(NodeId::new(90)));
+        assert!(set.insert(NodeId::new(90)));
+    }
+
+    #[test]
+    fn flood_slots_are_recycled_through_the_free_list() {
+        let mut floods = FloodTable::default();
+        let a = floods.alloc(NodeId::new(0), 50);
+        let b = floods.alloc(NodeId::new(1), 50);
+        assert_ne!(a, b);
+        assert_eq!(floods.capacity(), 2);
+        floods.release(a);
+        // The next flood reuses a's slot with a cleared visited set.
+        let c = floods.alloc(NodeId::new(2), 50);
+        assert_eq!(c, a);
+        assert_eq!(floods.capacity(), 2);
+        assert!(!floods.get(c).visited.contains(NodeId::new(0)));
+        assert!(floods.get(c).visited.contains(NodeId::new(2)));
+    }
+
+    #[test]
+    fn flood_alloc_marks_origin_visited() {
+        let mut floods = FloodTable::default();
+        let id = floods.alloc(NodeId::new(9), 20);
+        assert!(floods.get(id).visited.contains(NodeId::new(9)));
+        assert_eq!(floods.get(id).in_flight, 0);
+    }
+
+    #[test]
+    fn job_table_tracks_slots_by_raw_id() {
+        let mut jobs = JobTable::default();
+        jobs.register(spec(0));
+        jobs.register(spec(5)); // sparse ids leave gaps
+        assert_eq!(jobs.spec(JobId::new(5)).id, JobId::new(5));
+        jobs.slot_mut(JobId::new(5)).initiator = Some(NodeId::new(2));
+        jobs.slot_mut(JobId::new(5)).pending =
+            Some(PendingRequest { round: 0, best: None });
+        assert!(jobs.take_pending(JobId::new(5)).is_some());
+        assert!(jobs.take_pending(JobId::new(5)).is_none(), "pending is taken once");
+    }
+
+    #[test]
+    fn drop_pending_of_clears_only_the_crashed_initiator() {
+        let mut jobs = JobTable::default();
+        for id in 0..4 {
+            jobs.register(spec(id));
+            let slot = jobs.slot_mut(JobId::new(id));
+            slot.initiator = Some(NodeId::new((id % 2) as u32));
+            slot.pending = Some(PendingRequest { round: 0, best: None });
+        }
+        let dropped = jobs.drop_pending_of(NodeId::new(0));
+        assert_eq!(dropped, [JobId::new(0), JobId::new(2)]);
+        assert!(jobs.slot(JobId::new(1)).pending.is_some());
+        assert!(jobs.slot(JobId::new(3)).pending.is_some());
+    }
+}

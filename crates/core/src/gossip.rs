@@ -88,6 +88,9 @@ pub struct GossipScheduler {
     /// Entries carried per digest.
     digest_size: usize,
     latency: LatencyModel,
+    /// Scratch buffer for per-round neighbor sampling (reused so the
+    /// gossip hot loop does not allocate).
+    peers: Vec<aria_overlay::NodeId>,
 }
 
 impl GossipScheduler {
@@ -130,6 +133,7 @@ impl GossipScheduler {
             fanout: 2,
             digest_size: 16,
             latency,
+            peers: Vec::new(),
         };
         // Stagger the gossip rounds like ARiA staggers INFORM ticks.
         for node in 0..nodes {
@@ -246,8 +250,11 @@ impl GossipScheduler {
         entries.truncate(self.digest_size);
 
         let node_id = aria_overlay::NodeId::new(node as u32);
-        let neighbors = self.topology.sample_neighbors(node_id, self.fanout, None, &mut self.rng);
-        for neighbor in neighbors {
+        // Reuse the scratch peer buffer; the draw sequence matches the
+        // allocating sampler, so seeded runs are unchanged.
+        let mut peers = std::mem::take(&mut self.peers);
+        self.topology.sample_neighbors_into(node_id, self.fanout, None, &mut self.rng, &mut peers);
+        for &neighbor in &peers {
             // Gossip digests are INFORM-sized state messages.
             self.metrics.record_message(TrafficClass::Inform);
             let delay = self.latency.sample(&mut self.rng);
@@ -256,6 +263,7 @@ impl GossipScheduler {
                 Event::DeliverDigest { to: neighbor.index(), digest: entries.clone() },
             );
         }
+        self.peers = peers;
         self.events.schedule(now + self.gossip_period, Event::GossipTick { node });
     }
 

@@ -58,6 +58,7 @@
 pub mod central;
 pub mod gossip;
 pub mod config;
+mod dense;
 pub mod msg;
 pub mod multireq;
 pub mod world;

@@ -1,6 +1,6 @@
 //! The ARiA wire messages (Table I of the paper).
 
-use aria_grid::{Cost, JobId, JobSpec};
+use aria_grid::{Cost, JobId};
 use aria_metrics::TrafficClass;
 use aria_overlay::NodeId;
 use serde::{Deserialize, Serialize};
@@ -11,8 +11,12 @@ use std::fmt;
 /// The selective flooding protocol suppresses duplicates per flood: a
 /// node processes each flood at most once. Retransmissions of a job's
 /// REQUEST use a fresh flood id so the new round reaches nodes again.
+///
+/// Flood ids index the world's dense flood table and are recycled once a
+/// flood's last in-flight message lands, so the id space stays as small
+/// as the peak number of concurrent floods.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct FloodId(pub u64);
+pub struct FloodId(pub u32);
 
 impl fmt::Display for FloodId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -25,6 +29,12 @@ impl fmt::Display for FloodId {
 /// Field layout follows Table I; `hops_left` and `flood` are transport
 /// bookkeeping for the bounded selective flood (the paper's hop limits
 /// live in the protocol configuration, §IV-E).
+///
+/// On the wire the paper's REQUEST/INFORM/ASSIGN carry the full job
+/// profile; the simulator interns each profile once in the world's job
+/// table at submission and ships only the [`JobId`], so a forwarded flood
+/// hop copies a handful of words instead of the whole spec. Traffic
+/// accounting still charges the paper's full message sizes (§V-E).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Message {
     /// REQUEST — `initiator address · job UUID · job profile`.
@@ -33,8 +43,8 @@ pub enum Message {
     Request {
         /// The node the job was submitted to.
         initiator: NodeId,
-        /// Full job description (requirements + ERT + deadline).
-        job: JobSpec,
+        /// The advertised job.
+        job: JobId,
         /// Remaining hop budget.
         hops_left: u32,
         /// Flood this message belongs to.
@@ -58,8 +68,8 @@ pub enum Message {
     Inform {
         /// The node currently holding the job.
         assignee: NodeId,
-        /// Full job description.
-        job: JobSpec,
+        /// The advertised job.
+        job: JobId,
         /// The assignee's current cost for the job.
         cost: Cost,
         /// Remaining hop budget.
@@ -73,8 +83,8 @@ pub enum Message {
     Assign {
         /// The job's initiator (for tracking and failsafe mechanisms).
         initiator: NodeId,
-        /// Full job description.
-        job: JobSpec,
+        /// The delegated job.
+        job: JobId,
     },
 }
 
@@ -95,8 +105,8 @@ impl Message {
         match self {
             Message::Request { job, .. }
             | Message::Inform { job, .. }
-            | Message::Assign { job, .. } => job.id,
-            Message::Accept { job, .. } => *job,
+            | Message::Assign { job, .. }
+            | Message::Accept { job, .. } => *job,
         }
     }
 }
@@ -105,16 +115,16 @@ impl fmt::Display for Message {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Message::Request { initiator, job, hops_left, flood } => {
-                write!(f, "REQUEST[{} from {initiator} ttl={hops_left} {flood}]", job.id)
+                write!(f, "REQUEST[{job} from {initiator} ttl={hops_left} {flood}]")
             }
             Message::Accept { from, job, cost } => {
                 write!(f, "ACCEPT[{job} from {from} cost={cost}]")
             }
             Message::Inform { assignee, job, cost, hops_left, flood } => {
-                write!(f, "INFORM[{} held by {assignee} cost={cost} ttl={hops_left} {flood}]", job.id)
+                write!(f, "INFORM[{job} held by {assignee} cost={cost} ttl={hops_left} {flood}]")
             }
             Message::Assign { initiator, job } => {
-                write!(f, "ASSIGN[{} initiator={initiator}]", job.id)
+                write!(f, "ASSIGN[{job} initiator={initiator}]")
             }
         }
     }
@@ -123,32 +133,26 @@ impl fmt::Display for Message {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aria_grid::{Architecture, JobRequirements, OperatingSystem};
-    use aria_sim::SimDuration;
 
-    fn job() -> JobSpec {
-        let req = JobRequirements::new(Architecture::Amd64, OperatingSystem::Linux, 1, 1);
-        JobSpec::batch(JobId::new(5), req, SimDuration::from_hours(1))
-    }
+    const JOB: JobId = JobId::new(5);
 
     #[test]
     fn traffic_classes_match_table() {
-        let j = job();
         let request =
-            Message::Request { initiator: NodeId::new(0), job: j, hops_left: 9, flood: FloodId(1) };
+            Message::Request { initiator: NodeId::new(0), job: JOB, hops_left: 9, flood: FloodId(1) };
         let accept = Message::Accept {
             from: NodeId::new(1),
-            job: j.id,
-            cost: Cost::from_ettc(SimDuration::from_hours(1)),
+            job: JOB,
+            cost: Cost::from_ettc(aria_sim::SimDuration::from_hours(1)),
         };
         let inform = Message::Inform {
             assignee: NodeId::new(2),
-            job: j,
-            cost: Cost::from_ettc(SimDuration::from_hours(2)),
+            job: JOB,
+            cost: Cost::from_ettc(aria_sim::SimDuration::from_hours(2)),
             hops_left: 8,
             flood: FloodId(2),
         };
-        let assign = Message::Assign { initiator: NodeId::new(0), job: j };
+        let assign = Message::Assign { initiator: NodeId::new(0), job: JOB };
         assert_eq!(request.traffic_class(), TrafficClass::Request);
         assert_eq!(accept.traffic_class(), TrafficClass::Accept);
         assert_eq!(inform.traffic_class(), TrafficClass::Inform);
@@ -157,28 +161,33 @@ mod tests {
 
     #[test]
     fn job_id_is_uniform_across_variants() {
-        let j = job();
         let msgs = [
-            Message::Request { initiator: NodeId::new(0), job: j, hops_left: 9, flood: FloodId(1) },
-            Message::Accept { from: NodeId::new(1), job: j.id, cost: Cost::from_nal(-5) },
+            Message::Request { initiator: NodeId::new(0), job: JOB, hops_left: 9, flood: FloodId(1) },
+            Message::Accept { from: NodeId::new(1), job: JOB, cost: Cost::from_nal(-5) },
             Message::Inform {
                 assignee: NodeId::new(2),
-                job: j,
+                job: JOB,
                 cost: Cost::from_nal(-5),
                 hops_left: 8,
                 flood: FloodId(2),
             },
-            Message::Assign { initiator: NodeId::new(0), job: j },
+            Message::Assign { initiator: NodeId::new(0), job: JOB },
         ];
         for m in msgs {
-            assert_eq!(m.job_id(), JobId::new(5));
+            assert_eq!(m.job_id(), JOB);
         }
     }
 
     #[test]
+    fn messages_stay_small() {
+        // The point of interning job specs: a flood hop copies a few
+        // words, not a whole profile.
+        assert!(std::mem::size_of::<Message>() <= 32, "{}", std::mem::size_of::<Message>());
+    }
+
+    #[test]
     fn display_mentions_message_kind() {
-        let j = job();
-        let m = Message::Assign { initiator: NodeId::new(0), job: j };
+        let m = Message::Assign { initiator: NodeId::new(0), job: JOB };
         assert!(m.to_string().starts_with("ASSIGN["));
         assert!(FloodId(3).to_string().contains('3'));
     }

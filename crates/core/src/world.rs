@@ -16,27 +16,53 @@
 //! * Duplicate suppression follows the selective flooding protocol of
 //!   the paper's reference \[28\]: a node processes each flood once, and
 //!   forwarding avoids nodes the flood already visited.
+//!
+//! ## Hot-path representation
+//!
+//! One run processes millions of events, most of them flood hops, so the
+//! per-event state is dense and allocation-free (see [`crate::dense`]'s
+//! module docs for the tables themselves):
+//!
+//! * Job specs are interned once at submission in a `Vec`-backed job
+//!   table (which also carries each job's initiator, assignee and open
+//!   offer collection); messages and events ship bare [`JobId`]s and the
+//!   deliver path looks the payload up by index. The paper's wire format
+//!   still *carries* the profile — traffic accounting charges the full
+//!   §V-E message sizes — the simulator just refuses to copy it per hop.
+//! * Flood state (visited bitset + in-flight count) lives in slots
+//!   indexed by [`FloodId`] and recycled through a free-list as soon as a
+//!   flood's last in-flight message lands, so a run touches a handful of
+//!   slots instead of allocating a `HashSet` per flood.
+//! * Forward fan-out sampling fills reusable scratch buffers instead of
+//!   collecting fresh `Vec`s, drawing the exact same RNG sequence as the
+//!   allocating sampler it replaced (`SimRng::choose_multiple_into`).
+//!
+//! All of this is representation only: event order, RNG draws and thus
+//! every metric are bit-for-bit identical to the naive hash-map layout.
 
 use crate::config::{OverlayKind, WorldConfig};
+use crate::dense::{FloodTable, JobTable, PendingRequest};
 use crate::msg::{FloodId, Message};
 use aria_grid::{Cost, CostKind, JobId, JobSpec, NodeProfile, Policy, SchedulerQueue};
 use aria_metrics::MetricsCollector;
 use aria_overlay::{builders, Blatant, NodeId, Topology};
 use aria_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use aria_workload::{JobGenerator, ProfileGenerator, SubmissionSchedule};
-use std::collections::{HashMap, HashSet};
 
 /// A simulation event.
-#[derive(Debug, Clone)]
+///
+/// Events are small and `Copy`: job payloads live in the world's job
+/// table and events carry only the [`JobId`].
+#[derive(Debug, Clone, Copy)]
 enum Event {
     /// A message arrives at a node.
     Deliver { to: NodeId, msg: Message },
     /// A user submits a job to a random node.
-    Submit { job: JobSpec },
+    Submit { job: JobId },
     /// An initiator stops collecting ACCEPT offers for a job.
     AcceptWindowClosed { initiator: NodeId, job: JobId },
     /// An initiator re-floods a REQUEST that received no offers.
-    RetryRequest { initiator: NodeId, job: JobSpec, round: u32 },
+    RetryRequest { initiator: NodeId, job: JobId, round: u32 },
     /// A node finishes executing a job.
     ExecutionComplete { node: NodeId, job: JobId },
     /// A node considers advertising jobs for rescheduling.
@@ -50,7 +76,7 @@ enum Event {
     /// An initiator's failsafe re-discovers a job lost to a crash.
     RecoverJob {
         /// The lost job.
-        job: JobSpec,
+        job: JobId,
     },
     /// Periodic gauge sampling.
     Sample,
@@ -61,25 +87,8 @@ enum Event {
 struct NodeState {
     profile: NodeProfile,
     queue: SchedulerQueue,
-    /// Jobs this node initiated that are still collecting offers.
-    pending: HashMap<JobId, PendingRequest>,
     /// Crashed nodes stop participating entirely (failure injection).
     alive: bool,
-}
-
-/// An initiator's open offer collection for one job.
-#[derive(Debug)]
-struct PendingRequest {
-    job: JobSpec,
-    round: u32,
-    best: Option<(Cost, NodeId)>,
-}
-
-/// Book-keeping for one active flood (duplicate suppression + cleanup).
-#[derive(Debug, Default)]
-struct FloodState {
-    visited: HashSet<NodeId>,
-    in_flight: u32,
 }
 
 /// A simulated ARiA grid.
@@ -94,13 +103,11 @@ pub struct World {
     events: EventQueue<Event>,
     rng: SimRng,
     metrics: MetricsCollector,
-    floods: HashMap<FloodId, FloodState>,
-    next_flood: u64,
-    /// Initiator of every submitted job (carried in ASSIGN messages).
-    initiators: HashMap<JobId, NodeId>,
-    /// Current holder of every assigned job (the initiator-side tracking
-    /// that §III-D's failsafe relies on).
-    assignees: HashMap<JobId, NodeId>,
+    /// Active floods, slot-recycled (see [`crate::dense`]).
+    floods: FloodTable,
+    /// Per-job protocol state: interned spec, initiator, assignee and the
+    /// initiator's open offer collection, all in one dense slot.
+    jobs: JobTable,
     /// Jobs whose REQUEST rounds were exhausted without an offer.
     abandoned: Vec<JobId>,
     /// Nodes taken down by failure injection.
@@ -109,6 +116,14 @@ pub struct World {
     lost: Vec<JobId>,
     /// Jobs re-discovered by the failsafe after a crash.
     recovered: u64,
+    /// Events handled so far (drives throughput reporting in the bench
+    /// harness).
+    processed: u64,
+    /// Scratch buffer for fan-out candidate lists (hot path; reused so
+    /// flood forwarding never allocates).
+    candidates: Vec<NodeId>,
+    /// Scratch buffer for sampled fan-out targets.
+    picked: Vec<NodeId>,
 }
 
 impl World {
@@ -136,7 +151,6 @@ impl World {
             .map(|_| NodeState {
                 profile: generator.generate(&mut profile_rng),
                 queue: SchedulerQueue::new(config.policies.sample(&mut profile_rng)),
-                pending: HashMap::new(),
                 alive: true,
             })
             .collect();
@@ -157,14 +171,15 @@ impl World {
             events,
             rng,
             metrics: MetricsCollector::new(SimDuration::from_mins(5)),
-            floods: HashMap::new(),
-            next_flood: 0,
-            initiators: HashMap::new(),
-            assignees: HashMap::new(),
+            floods: FloodTable::default(),
+            jobs: JobTable::default(),
             abandoned: Vec::new(),
             crashed: Vec::new(),
             lost: Vec::new(),
             recovered: 0,
+            processed: 0,
+            candidates: Vec::new(),
+            picked: Vec::new(),
         };
         world.metrics = MetricsCollector::new(world.config.sample_period);
         if let Some(plan) = world.config.reservations {
@@ -248,12 +263,24 @@ impl World {
         self.events.now()
     }
 
+    /// How many events were scheduled in the past and clamped to the
+    /// current instant (see [`EventQueue::clamped_count`]). A causally
+    /// sound run leaves this at zero; tests assert on it after
+    /// [`World::run`] so release builds cannot silently reorder events.
+    pub fn clamped_events(&self) -> u64 {
+        self.events.clamped_count()
+    }
+
     // --- workload injection -------------------------------------------------
 
     /// Schedules a single job submission at `at` (the initiator is drawn
     /// at event time, so late submissions may land on joined nodes).
+    ///
+    /// The spec is interned here; everything downstream refers to the job
+    /// by id.
     pub fn submit_job(&mut self, at: SimTime, job: JobSpec) {
-        self.events.schedule(at, Event::Submit { job });
+        self.jobs.register(job);
+        self.events.schedule(at, Event::Submit { job: job.id });
     }
 
     /// Generates and schedules one feasible job per instant of
@@ -274,6 +301,7 @@ impl World {
     /// queue always drains) and returns the collected metrics.
     pub fn run(&mut self) -> &MetricsCollector {
         while let Some((now, event)) = self.events.pop() {
+            self.processed += 1;
             self.handle(now, event);
         }
         &self.metrics
@@ -283,9 +311,15 @@ impl World {
     pub fn run_until(&mut self, deadline: SimTime) -> &MetricsCollector {
         while self.events.peek_time().is_some_and(|t| t <= deadline) {
             let (now, event) = self.events.pop().expect("peeked event exists");
+            self.processed += 1;
             self.handle(now, event);
         }
         &self.metrics
+    }
+
+    /// Total number of events handled by [`World::run`]/[`World::run_until`].
+    pub fn processed_events(&self) -> u64 {
+        self.processed
     }
 
     fn handle(&mut self, now: SimTime, event: Event) {
@@ -299,7 +333,7 @@ impl World {
                 if self.nodes[initiator.index()].alive {
                     self.start_request_round(now, initiator, job, round);
                 } else {
-                    self.lost.push(job.id);
+                    self.lost.push(job);
                 }
             }
             Event::ExecutionComplete { node, job } => self.complete_execution(now, node, job),
@@ -318,52 +352,61 @@ impl World {
 
     // --- submission & REQUEST phase (§III-B) ---------------------------------
 
-    fn submit(&mut self, now: SimTime, job: JobSpec) {
-        let alive: Vec<NodeId> = self.alive_nodes();
-        let initiator = *self.rng.choose(&alive);
-        self.metrics.job_submitted(&job, now);
-        self.initiators.insert(job.id, initiator);
+    fn submit(&mut self, now: SimTime, job: JobId) {
+        self.fill_alive_candidates();
+        let initiator = *self.rng.choose(&self.candidates);
+        let spec = self.jobs.spec(job);
+        self.metrics.job_submitted(&spec, now);
+        self.jobs.slot_mut(job).initiator = Some(initiator);
         self.start_request_round(now, initiator, job, 0);
     }
 
-    fn start_request_round(&mut self, now: SimTime, initiator: NodeId, job: JobSpec, round: u32) {
+    fn start_request_round(&mut self, now: SimTime, initiator: NodeId, job: JobId, round: u32) {
+        let spec = self.jobs.spec(job);
         // The initiator is itself a candidate when it matches the job.
         let own_bid = {
             let node = &self.nodes[initiator.index()];
-            if Self::node_can_bid(node, &job) {
-                Some((node.queue.cost_of_candidate(&job, now, &node.profile), initiator))
+            if Self::node_can_bid(node, &spec) {
+                Some((node.queue.cost_of_candidate(&spec, now, &node.profile), initiator))
             } else {
                 None
             }
         };
-        self.nodes[initiator.index()]
-            .pending
-            .insert(job.id, PendingRequest { job, round, best: own_bid });
+        self.jobs.slot_mut(job).pending = Some(PendingRequest { round, best: own_bid });
 
         // §III-B: the initiator broadcasts "to a random subset of nodes
         // of the overlay" — the flood's seeds are random overlay members
         // (reached via routed delivery); only the subsequent forwarding
         // steps use direct neighbors.
-        let flood = self.new_flood(initiator);
+        let flood = self.floods.alloc(initiator, self.nodes.len());
         let request = Message::Request {
             initiator,
             job,
             hops_left: self.config.aria.request_hops,
             flood,
         };
-        let all: Vec<NodeId> = self
-            .topology
-            .nodes()
-            .filter(|&n| n != initiator && self.nodes[n.index()].alive)
-            .collect();
-        let seeds = self.rng.choose_multiple(&all, self.config.aria.request_fanout);
-        for seed in seeds {
-            self.floods.get_mut(&flood).expect("live flood").in_flight += 1;
+        self.candidates.clear();
+        for n in self.topology.nodes() {
+            if n != initiator && self.nodes[n.index()].alive {
+                self.candidates.push(n);
+            }
+        }
+        self.rng.choose_multiple_into(
+            &self.candidates,
+            self.config.aria.request_fanout,
+            &mut self.picked,
+        );
+        for i in 0..self.picked.len() {
+            let seed = self.picked[i];
+            self.floods.get_mut(flood).in_flight += 1;
             self.send_routed(now, seed, request);
         }
+        // An unseedable flood (no other node alive) is over before it
+        // starts; recycle its slot.
+        self.cleanup_flood(flood);
         self.events.schedule(
             now + self.config.aria.accept_window,
-            Event::AcceptWindowClosed { initiator, job: job.id },
+            Event::AcceptWindowClosed { initiator, job },
         );
     }
 
@@ -371,7 +414,7 @@ impl World {
         if !self.nodes[initiator.index()].alive {
             return; // the crash handler already accounted for the loss
         }
-        let Some(pending) = self.nodes[initiator.index()].pending.remove(&job) else {
+        let Some(pending) = self.jobs.take_pending(job) else {
             return;
         };
         match pending.best {
@@ -379,9 +422,9 @@ impl World {
                 self.metrics.job_assigned(job, now, false);
                 if winner == initiator {
                     // Local execution: no ASSIGN message is needed.
-                    self.enqueue_job(now, initiator, pending.job);
+                    self.enqueue_job(now, initiator, job);
                 } else {
-                    self.send_routed(now, winner, Message::Assign { initiator, job: pending.job });
+                    self.send_routed(now, winner, Message::Assign { initiator, job });
                 }
             }
             None => {
@@ -389,7 +432,7 @@ impl World {
                 if round < self.config.aria.max_request_rounds {
                     self.events.schedule(
                         now + self.config.aria.request_retry,
-                        Event::RetryRequest { initiator, job: pending.job, round },
+                        Event::RetryRequest { initiator, job, round },
                     );
                 } else {
                     self.abandoned.push(job);
@@ -405,8 +448,7 @@ impl World {
             // The recipient crashed while the message was in flight.
             match msg {
                 Message::Request { flood, .. } | Message::Inform { flood, .. } => {
-                    let state = self.floods.get_mut(&flood).expect("live flood");
-                    state.in_flight -= 1;
+                    self.floods.get_mut(flood).in_flight -= 1;
                     self.cleanup_flood(flood);
                 }
                 Message::Assign { job, .. } => {
@@ -418,7 +460,7 @@ impl World {
                             Event::RecoverJob { job },
                         );
                     } else {
-                        self.lost.push(job.id);
+                        self.lost.push(job);
                     }
                 }
                 Message::Accept { .. } => {}
@@ -430,11 +472,12 @@ impl World {
                 if !self.flood_arrival(flood, to) {
                     return;
                 }
+                let spec = self.jobs.spec(job);
                 let node = &self.nodes[to.index()];
-                let bids = Self::node_can_bid(node, &job);
+                let bids = Self::node_can_bid(node, &spec);
                 if bids {
-                    let cost = node.queue.cost_of_candidate(&job, now, &node.profile);
-                    self.send_routed(now, initiator, Message::Accept { from: to, job: job.id, cost });
+                    let cost = node.queue.cost_of_candidate(&spec, now, &node.profile);
+                    self.send_routed(now, initiator, Message::Accept { from: to, job, cost });
                 }
                 if (!bids || self.config.aria.forward_on_match) && hops_left > 1 {
                     let forwarded =
@@ -447,16 +490,17 @@ impl World {
                 if !self.flood_arrival(flood, to) {
                     return;
                 }
+                let spec = self.jobs.spec(job);
                 let node = &self.nodes[to.index()];
-                let bids = Self::node_can_bid(node, &job);
+                let bids = Self::node_can_bid(node, &spec);
                 if bids {
-                    let my_cost = node.queue.cost_of_candidate(&job, now, &node.profile);
+                    let my_cost = node.queue.cost_of_candidate(&spec, now, &node.profile);
                     let threshold = self.config.aria.reschedule_threshold.as_millis() as i64;
                     if my_cost.improvement_over(cost) > threshold {
                         self.send_routed(
                             now,
                             assignee,
-                            Message::Accept { from: to, job: job.id, cost: my_cost },
+                            Message::Accept { from: to, job, cost: my_cost },
                         );
                     }
                 }
@@ -474,17 +518,28 @@ impl World {
 
     fn handle_accept(&mut self, now: SimTime, to: NodeId, from: NodeId, job: JobId, cost: Cost) {
         // Offer for a job this node initiated and is still collecting?
-        if let Some(pending) = self.nodes[to.index()].pending.get_mut(&job) {
-            let better = match pending.best {
-                None => true,
-                Some((best, _)) => cost < best,
-            };
-            if better {
-                pending.best = Some((cost, from));
+        {
+            let slot = self.jobs.slot_mut(job);
+            if slot.initiator == Some(to) {
+                if let Some(pending) = slot.pending.as_mut() {
+                    let better = match pending.best {
+                        None => true,
+                        Some((best, _)) => cost < best,
+                    };
+                    if better {
+                        pending.best = Some((cost, from));
+                    }
+                    return;
+                }
             }
+        }
+        // Otherwise: a rescheduling offer for a job this node holds. With
+        // dynamic rescheduling disabled this path must be inert — an ACCEPT
+        // that misses its collection window (or a stray reply) must not move
+        // jobs, or assignment accounting drifts (reschedules without moves).
+        if !self.config.aria.rescheduling {
             return;
         }
-        // Otherwise: a rescheduling offer for a job this node holds.
         let threshold = self.config.aria.reschedule_threshold.as_millis() as i64;
         let node = &mut self.nodes[to.index()];
         let Some(current) = node.queue.cost_of_waiting(job, now) else {
@@ -493,19 +548,20 @@ impl World {
         if cost.improvement_over(current) <= threshold {
             return; // conditions changed; the move no longer pays off
         }
-        let moved = node.queue.remove_waiting(job).expect("cost_of_waiting implies waiting");
-        let initiator = self.initiators.get(&job).copied().unwrap_or(to);
+        node.queue.remove_waiting(job).expect("cost_of_waiting implies waiting");
+        let initiator = self.jobs.slot(job).initiator.unwrap_or(to);
         self.metrics.job_assigned(job, now, true);
-        self.send_routed(now, from, Message::Assign { initiator, job: moved.spec });
+        self.send_routed(now, from, Message::Assign { initiator, job });
     }
 
     // --- local execution --------------------------------------------------------
 
-    fn enqueue_job(&mut self, now: SimTime, node: NodeId, job: JobSpec) {
-        self.assignees.insert(job.id, node);
+    fn enqueue_job(&mut self, now: SimTime, node: NodeId, job: JobId) {
+        self.jobs.slot_mut(job).assignee = Some(node);
+        let spec = self.jobs.spec(job);
         let state = &mut self.nodes[node.index()];
         let profile = state.profile;
-        state.queue.enqueue(job, now, &profile);
+        state.queue.enqueue(spec, now, &profile);
         self.try_start(now, node);
     }
 
@@ -569,29 +625,22 @@ impl World {
             state.queue.inform_candidates(now, self.config.aria.inform_batch)
         };
         for id in candidates {
-            let (spec, cost) = {
-                let state = &self.nodes[node.index()];
-                let queued = state
-                    .queue
-                    .waiting()
-                    .iter()
-                    .find(|j| j.spec.id == id)
-                    .expect("inform candidate is waiting");
-                let cost = state
-                    .queue
-                    .cost_of_waiting(id, now)
-                    .expect("inform candidate has a cost");
-                (queued.spec, cost)
-            };
-            let flood = self.new_flood(node);
+            let cost = self.nodes[node.index()]
+                .queue
+                .cost_of_waiting(id, now)
+                .expect("inform candidate has a cost");
+            let flood = self.floods.alloc(node, self.nodes.len());
             let inform = Message::Inform {
                 assignee: node,
-                job: spec,
+                job: id,
                 cost,
                 hops_left: self.config.aria.inform_hops,
                 flood,
             };
             self.forward_flood(now, node, inform, self.config.aria.inform_fanout);
+            // If every neighbor had already seen the flood (or the node is
+            // isolated), nothing went out: recycle the slot immediately.
+            self.cleanup_flood(flood);
         }
         self.events
             .schedule(now + self.config.aria.inform_period, Event::InformTick { node });
@@ -607,7 +656,6 @@ impl World {
         self.nodes.push(NodeState {
             profile: generator.generate(&mut profile_rng),
             queue: SchedulerQueue::new(self.config.policies.sample(&mut profile_rng)),
-            pending: HashMap::new(),
             alive: true,
         });
         debug_assert_eq!(self.nodes.len(), self.topology.len());
@@ -618,9 +666,21 @@ impl World {
 
     // --- failure injection & failsafe recovery (§III-D) ----------------------------
 
-    /// All currently alive nodes.
+    /// All currently alive nodes (cold path; the hot submission path
+    /// uses [`World::fill_alive_candidates`] instead).
     fn alive_nodes(&self) -> Vec<NodeId> {
         self.topology.nodes().filter(|n| self.nodes[n.index()].alive).collect()
+    }
+
+    /// Fills the scratch candidate buffer with all alive nodes, in the
+    /// same order `alive_nodes` produces them.
+    fn fill_alive_candidates(&mut self) {
+        self.candidates.clear();
+        for n in self.topology.nodes() {
+            if self.nodes[n.index()].alive {
+                self.candidates.push(n);
+            }
+        }
     }
 
     /// Crashes one random alive node: its links vanish, its waiting and
@@ -664,24 +724,24 @@ impl World {
 
         // Jobs held by the victim are lost with its queue.
         let state = &mut self.nodes[victim.index()];
-        let mut lost_specs: Vec<JobSpec> =
-            state.queue.drain_waiting().into_iter().map(|j| j.spec).collect();
+        let mut lost_jobs: Vec<JobId> =
+            state.queue.drain_waiting().into_iter().map(|j| j.spec.id).collect();
         if let Some(running) = state.queue.complete_running() {
-            lost_specs.push(running.spec);
+            lost_jobs.push(running.spec.id);
         }
         // Jobs the victim was *initiating* lose their offer collection;
         // nobody else tracks them, so they are gone for good.
-        let pending: Vec<JobId> = state.pending.drain().map(|(id, _)| id).collect();
+        let pending = self.jobs.drop_pending_of(victim);
         self.lost.extend(pending);
 
-        for spec in lost_specs {
+        for job in lost_jobs {
             if self.config.failsafe {
                 self.events.schedule(
                     now + self.config.failsafe_detection,
-                    Event::RecoverJob { job: spec },
+                    Event::RecoverJob { job },
                 );
             } else {
-                self.lost.push(spec.id);
+                self.lost.push(job);
             }
         }
     }
@@ -689,25 +749,24 @@ impl World {
     /// The initiator-side failsafe: re-run the discovery phase for a job
     /// lost to a crash, unless it is demonstrably fine (completed, or
     /// alive and queued elsewhere) or its initiator died too.
-    fn recover_job(&mut self, now: SimTime, job: JobSpec) {
-        if self.metrics.records().get(&job.id).is_some_and(|r| r.is_completed()) {
+    fn recover_job(&mut self, now: SimTime, job: JobId) {
+        if self.metrics.records().get(&job).is_some_and(|r| r.is_completed()) {
             return;
         }
-        if let Some(&holder) = self.assignees.get(&job.id) {
+        if let Some(holder) = self.jobs.slot(job).assignee {
             let state = &self.nodes[holder.index()];
-            let held = state.queue.is_waiting(job.id)
-                || state.queue.running().is_some_and(|r| r.spec.id == job.id);
+            let held = state.queue.is_waiting(job)
+                || state.queue.running().is_some_and(|r| r.spec.id == job);
             if state.alive && held {
                 return; // false alarm: the job found another home
             }
         }
-        let initiator = self.initiators.get(&job.id).copied();
-        match initiator {
+        match self.jobs.slot(job).initiator {
             Some(initiator) if self.nodes[initiator.index()].alive => {
                 self.recovered += 1;
                 self.start_request_round(now, initiator, job, 0);
             }
-            _ => self.lost.push(job.id),
+            _ => self.lost.push(job),
         }
     }
 
@@ -734,63 +793,55 @@ impl World {
             && (node.queue.policy().cost_kind() == CostKind::Nal) == job.is_deadline()
     }
 
-    fn new_flood(&mut self, origin: NodeId) -> FloodId {
-        let id = FloodId(self.next_flood);
-        self.next_flood += 1;
-        let mut state = FloodState::default();
-        state.visited.insert(origin);
-        self.floods.insert(id, state);
-        id
-    }
-
     /// Marks a flood message's arrival. Returns `false` (and finishes the
     /// book-keeping) if this node already saw the flood.
     fn flood_arrival(&mut self, flood: FloodId, at: NodeId) -> bool {
-        let state = self.floods.get_mut(&flood).expect("arrival for live flood");
-        state.in_flight -= 1;
-        if !state.visited.insert(at) {
+        let slot = self.floods.get_mut(flood);
+        slot.in_flight -= 1;
+        if !slot.visited.insert(at) {
             self.cleanup_flood(flood);
             return false;
         }
         true
     }
 
-    /// Finishes one message's book-keeping after processing (may drop the
-    /// flood state once nothing is in flight).
+    /// Finishes one message's book-keeping after processing (may recycle
+    /// the flood slot once nothing is in flight).
     fn flood_departure(&mut self, flood: FloodId) {
         self.cleanup_flood(flood);
     }
 
     fn cleanup_flood(&mut self, flood: FloodId) {
-        if self.floods.get(&flood).is_some_and(|s| s.in_flight == 0) {
-            self.floods.remove(&flood);
+        if self.floods.get(flood).in_flight == 0 {
+            self.floods.release(flood);
         }
     }
 
     /// Forwards a flood message from `from` to up to `fanout` random
     /// neighbors not yet visited by the flood (selective flooding, \[28\]).
+    ///
+    /// Allocation-free: candidates and sampled targets go through the
+    /// world's scratch buffers, and the visited check is a bit probe.
     fn forward_flood(&mut self, now: SimTime, from: NodeId, msg: Message, fanout: usize) {
         let flood = match msg {
             Message::Request { flood, .. } | Message::Inform { flood, .. } => flood,
             _ => unreachable!("only REQUEST/INFORM flood"),
         };
-        let targets: Vec<NodeId> = {
-            let visited = &self.floods[&flood].visited;
-            let candidates: Vec<NodeId> = self
-                .topology
-                .neighbors(from)
-                .iter()
-                .copied()
-                .filter(|n| !visited.contains(n))
-                .collect();
-            self.rng.choose_multiple(&candidates, fanout)
-        };
-        for target in targets {
+        self.candidates.clear();
+        let visited = &self.floods.get(flood).visited;
+        for &n in self.topology.neighbors(from) {
+            if !visited.contains(n) {
+                self.candidates.push(n);
+            }
+        }
+        self.rng.choose_multiple_into(&self.candidates, fanout, &mut self.picked);
+        for i in 0..self.picked.len() {
+            let target = self.picked[i];
             let latency = self
                 .topology
                 .latency(from, target)
                 .expect("forwarding along an existing link");
-            self.floods.get_mut(&flood).expect("live flood").in_flight += 1;
+            self.floods.get_mut(flood).in_flight += 1;
             self.metrics.record_message(msg.traffic_class());
             self.events.schedule(now + latency, Event::Deliver { to: target, msg });
         }
@@ -1099,7 +1150,7 @@ mod tests {
         config.failsafe = false;
         // Heavy burst then a crash right in the middle of the backlog.
         config.crashes = vec![SimTime::from_mins(30)];
-        let mut world = World::new(config, 22);
+        let mut world = World::new(config, 3);
         let mut jobs = JobGenerator::paper_batch();
         let schedule =
             SubmissionSchedule::new(SimTime::from_mins(1), SimDuration::from_secs(5), 60);
@@ -1158,3 +1209,4 @@ mod tests {
         assert!(waiting.min() >= world.config().aria.accept_window.as_secs_f64());
     }
 }
+

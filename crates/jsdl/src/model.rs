@@ -155,9 +155,14 @@ impl JobDefinition {
     }
 
     /// Builds a definition from an ARiA [`JobSpec`].
+    ///
+    /// The name is canonicalized the same way [`JobDefinition::parse`]
+    /// canonicalizes `<jsdl:JobName>` text — surrounding whitespace is
+    /// trimmed and a blank name becomes `None` — so a definition built
+    /// here compares equal to its own serialize/parse round trip.
     pub fn from_job_spec(spec: &JobSpec, name: Option<&str>) -> Self {
         JobDefinition {
-            name: name.map(str::to_string),
+            name: name.map(str::trim).filter(|n| !n.is_empty()).map(str::to_string),
             arch: spec.requirements.arch,
             os: spec.requirements.os,
             min_memory_bytes: spec.requirements.min_memory_gb as u64 * GIB,
@@ -178,7 +183,9 @@ impl JobDefinition {
              xmlns:aria=\"urn:aria:extensions:1\">\n",
         );
         out.push_str("  <jsdl:JobDescription>\n");
-        if let Some(name) = &self.name {
+        // Written in canonical form (trimmed, blank elided) so that any
+        // hand-built definition still round-trips through `parse`.
+        if let Some(name) = self.name.as_deref().map(str::trim).filter(|n| !n.is_empty()) {
             out.push_str("    <jsdl:JobIdentification>\n");
             out.push_str(&format!(
                 "      <jsdl:JobName>{}</jsdl:JobName>\n",

@@ -35,12 +35,12 @@ proptest! {
         };
         let def = JobDefinition::from_job_spec(&spec, name.as_deref());
         let reparsed = JobDefinition::parse(&def.to_xml()).expect("own output parses");
-        // XML text is whitespace-trimmed on parse, so compare against the
-        // normalized name; everything else must round-trip exactly.
+        // `from_job_spec` canonicalizes the name exactly like the parser
+        // (trim, blank -> None), so the round trip is an equality.
         let expected_name =
             name.as_deref().map(str::trim).filter(|n| !n.is_empty()).map(str::to_string);
-        prop_assert_eq!(&reparsed.name, &expected_name);
-        prop_assert_eq!(JobDefinition { name: expected_name, ..def }, reparsed.clone());
+        prop_assert_eq!(&def.name, &expected_name);
+        prop_assert_eq!(def.clone(), reparsed.clone());
         let spec_again = reparsed.to_job_spec(JobId::new(id)).expect("convertible");
         prop_assert_eq!(spec_again, spec);
     }
@@ -66,4 +66,26 @@ proptest! {
     fn parser_is_panic_free(garbage in "[ -~<>&;/]{0,200}") {
         let _ = xml::parse(&garbage);
     }
+}
+
+/// Pinned regression for a recorded `job_spec_round_trips` failure: a
+/// whitespace-only job name (`Some(" ")`). The parser trims element text,
+/// so the name came back as `None` while the definition still carried
+/// `Some(" ")`; `from_job_spec` now canonicalizes at construction.
+#[test]
+fn regression_whitespace_only_name_round_trips() {
+    let req = JobRequirements::new(Architecture::Amd64, OperatingSystem::Linux, 0, 0);
+    let spec = JobSpec::batch(JobId::new(0), req, SimDuration::from_secs(1));
+    let def = JobDefinition::from_job_spec(&spec, Some(" "));
+    assert_eq!(def.name, None, "blank names canonicalize to None");
+    let reparsed = JobDefinition::parse(&def.to_xml()).expect("own output parses");
+    assert_eq!(def, reparsed);
+    assert_eq!(reparsed.to_job_spec(JobId::new(0)).expect("convertible"), spec);
+
+    // A definition built with a blank name directly (bypassing the
+    // canonicalizing constructor) must still round-trip: `to_xml` elides
+    // the blank element rather than writing text the parser would drop.
+    let hand_built = JobDefinition { name: Some("  ".into()), ..def.clone() };
+    let reparsed = JobDefinition::parse(&hand_built.to_xml()).expect("own output parses");
+    assert_eq!(reparsed.name, None);
 }

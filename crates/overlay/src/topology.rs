@@ -194,12 +194,26 @@ impl Topology {
         exclude: Option<NodeId>,
         rng: &mut SimRng,
     ) -> Vec<NodeId> {
-        let candidates: Vec<NodeId> = self.adjacency[node.index()]
-            .iter()
-            .copied()
-            .filter(|&n| Some(n) != exclude)
-            .collect();
-        rng.choose_multiple(&candidates, k)
+        let mut out = Vec::new();
+        self.sample_neighbors_into(node, k, exclude, rng, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Topology::sample_neighbors`]: fills `out`
+    /// (cleared first) with the sample, reusing its capacity. Draws the
+    /// same random sequence as the allocating variant, so callers can
+    /// switch without perturbing seeded runs.
+    pub fn sample_neighbors_into(
+        &self,
+        node: NodeId,
+        k: usize,
+        exclude: Option<NodeId>,
+        rng: &mut SimRng,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        out.extend(self.adjacency[node.index()].iter().copied().filter(|&n| Some(n) != exclude));
+        rng.sample_in_place(out, k);
     }
 
     /// Breadth-first hop distances from `source` (`None` = unreachable).

@@ -6,6 +6,8 @@ use aria_metrics::{DeadlineStats, TrafficClass, TrafficLedger};
 use aria_sim::{Summary, TimeSeries};
 use aria_workload::JobGenerator;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Compact statistics of one `(scenario, seed)` simulation run.
 #[derive(Debug, Clone)]
@@ -262,29 +264,28 @@ impl Runner {
                 by_scenario.entry(i).or_default().push(self.run_once(scenario, seed));
             }
         } else {
-            let (result_tx, result_rx) = crossbeam::channel::unbounded();
-            let (work_tx, work_rx) = crossbeam::channel::unbounded();
-            for pair in &pairs {
-                work_tx.send(*pair).expect("queueing work");
-            }
-            drop(work_tx);
-            crossbeam::thread::scope(|scope| {
+            // Work-stealing over a shared cursor: each worker claims the
+            // next (scenario, seed) pair until the list is exhausted.
+            let next = AtomicUsize::new(0);
+            let (result_tx, result_rx) = mpsc::channel();
+            std::thread::scope(|scope| {
                 for _ in 0..self.workers.min(pairs.len()) {
-                    let work_rx = work_rx.clone();
                     let result_tx = result_tx.clone();
-                    scope.spawn(move |_| {
-                        while let Ok((i, scenario, seed)) = work_rx.recv() {
-                            let stats = self.run_once(scenario, seed);
-                            result_tx.send((i, stats)).expect("reporting result");
-                        }
+                    let (pairs, next) = (&pairs, &next);
+                    scope.spawn(move || loop {
+                        let claimed = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(i, scenario, seed)) = pairs.get(claimed) else {
+                            break;
+                        };
+                        let stats = self.run_once(scenario, seed);
+                        result_tx.send((i, stats)).expect("reporting result");
                     });
                 }
                 drop(result_tx);
                 while let Ok((i, stats)) = result_rx.recv() {
                     by_scenario.entry(i).or_default().push(stats);
                 }
-            })
-            .expect("scenario worker panicked");
+            });
         }
 
         by_scenario

@@ -1,14 +1,19 @@
 //! The event queue at the heart of the discrete-event engine.
 
 use crate::time::SimTime;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// A deterministic priority queue of timestamped events.
 ///
 /// Events are delivered in non-decreasing time order; events scheduled for
 /// the same instant are delivered in scheduling order (FIFO), which makes
 /// simulation runs reproducible regardless of payload type.
+///
+/// Internally a 4-ary min-heap ordered on `(time, seq)`: popping the
+/// minimum dominates a simulation run's profile, and the wider fan-out
+/// halves the sift-down depth over a binary heap while the children of a
+/// node share a cache line or two. Every key is unique (the sequence
+/// number breaks ties), so *any* correct heap pops the same order — the
+/// layout is a pure performance choice with no effect on determinism.
 ///
 /// # Example
 ///
@@ -24,64 +29,114 @@ use std::collections::BinaryHeap;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: Vec<Entry<E>>,
     next_seq: u64,
     now: SimTime,
+    clamped: u64,
 }
+
+/// Heap arity. Four children per node: sift-down compares one extra pair
+/// per level but needs half the levels, a known win for pop-heavy heaps.
+const ARITY: usize = 4;
 
 #[derive(Debug)]
 struct Entry<E> {
-    key: Reverse<(SimTime, u64)>,
+    at: SimTime,
+    seq: u64,
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key)
+impl<E> Entry<E> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
     }
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue positioned at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+        EventQueue { heap: Vec::new(), next_seq: 0, now: SimTime::ZERO, clamped: 0 }
+    }
+
+    /// Restores the heap invariant upward from `pos` after a push.
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / ARITY;
+            if self.heap[pos].key() < self.heap[parent].key() {
+                self.heap.swap(pos, parent);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Restores the heap invariant downward from `pos` after a pop.
+    fn sift_down(&mut self, mut pos: usize) {
+        loop {
+            let first = ARITY * pos + 1;
+            if first >= self.heap.len() {
+                break;
+            }
+            let end = (first + ARITY).min(self.heap.len());
+            let mut best = first;
+            for child in first + 1..end {
+                if self.heap[child].key() < self.heap[best].key() {
+                    best = child;
+                }
+            }
+            if self.heap[pos].key() <= self.heap[best].key() {
+                break;
+            }
+            self.heap.swap(pos, best);
+            pos = best;
+        }
     }
 
     /// Schedules `event` for delivery at instant `at`.
     ///
     /// Scheduling in the past is a logic error in the simulation layers
     /// above; it is tolerated here (the event fires "now") but flagged in
-    /// debug builds.
+    /// debug builds and counted in [`EventQueue::clamped_count`] so release
+    /// builds can assert the count stayed zero instead of silently
+    /// reordering causality.
     pub fn schedule(&mut self, at: SimTime, event: E) {
         debug_assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        if at < self.now {
+            self.clamped += 1;
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { key: Reverse((at.max(self.now), seq)), event });
+        self.heap.push(Entry { at: at.max(self.now), seq, event });
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// How many events were scheduled in the past and clamped to `now`.
+    ///
+    /// Always zero in a causally sound simulation; see
+    /// [`EventQueue::schedule`].
+    pub fn clamped_count(&self) -> u64 {
+        self.clamped
     }
 
     /// Removes and returns the earliest event together with its timestamp,
     /// advancing the queue clock, or `None` if the queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
-        let Reverse((at, _)) = entry.key;
-        self.now = at;
-        Some((at, entry.event))
+        if self.heap.is_empty() {
+            return None;
+        }
+        let entry = self.heap.swap_remove(0);
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        self.now = entry.at;
+        Some((entry.at, entry.event))
     }
 
     /// The timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.key.0 .0)
+        self.heap.first().map(|e| e.at)
     }
 
     /// The time of the most recently popped event (the simulation clock).
@@ -162,6 +217,59 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clamped_count_stays_zero_for_sound_schedules() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 'a');
+        q.pop();
+        q.schedule(SimTime::from_secs(1), 'b'); // exactly `now` is fine
+        q.schedule(SimTime::from_secs(2), 'c');
+        assert_eq!(q.clamped_count(), 0);
+    }
+
+    // The debug_assert in `schedule` catches past scheduling first in
+    // debug builds; the counter is the release-build guard.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn past_schedules_are_clamped_and_counted() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), 'a');
+        q.pop();
+        q.schedule(SimTime::from_secs(3), 'b');
+        assert_eq!(q.clamped_count(), 1);
+        // The clamped event fires at `now`, not in the past.
+        let (at, e) = q.pop().unwrap();
+        assert_eq!((at, e), (SimTime::from_secs(10), 'b'));
+    }
+
+    #[test]
+    fn heap_pops_total_order_under_interleaving() {
+        // Exercise the 4-ary heap with a scrambled schedule: pops must
+        // come out sorted by (time, scheduling order) whatever the push
+        // order was, including pushes interleaved with pops.
+        let mut q = EventQueue::new();
+        let mut expected = Vec::new();
+        for i in 0..400u64 {
+            let t = SimTime::from_millis((i * 7919) % 1000);
+            q.schedule(t, i);
+            expected.push((t, i));
+        }
+        expected.sort();
+        let mut popped = Vec::new();
+        for _ in 0..100 {
+            popped.push(q.pop().unwrap());
+        }
+        // Later schedules clamp to the clock but keep FIFO order.
+        let now = q.now();
+        for i in 400..420u64 {
+            q.schedule(now + SimDuration::from_millis(i), i);
+            expected.push((now + SimDuration::from_millis(i), i));
+        }
+        expected.sort();
+        popped.extend(std::iter::from_fn(|| q.pop()));
+        assert_eq!(popped, expected);
     }
 
     #[test]

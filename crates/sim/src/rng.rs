@@ -1,14 +1,12 @@
 //! Seeded randomness for reproducible simulation runs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A deterministic random number source.
 ///
-/// Wraps [`StdRng`] behind a small domain-oriented API so that the rest of
-/// the workspace never touches `rand` traits directly, and so that a run
-/// is a pure function of its seed. Independent sub-streams can be split
-/// off with [`SimRng::fork`] to decorrelate components (topology vs.
+/// Implements xoshiro256++ (Blackman & Vigna) seeded through SplitMix64
+/// behind a small domain-oriented API, so that the rest of the workspace
+/// never touches raw generator state directly, and so that a run is a
+/// pure function of its seed. Independent sub-streams can be split off
+/// with [`SimRng::fork`] to decorrelate components (topology vs.
 /// workload vs. protocol jitter) while keeping every stream reproducible.
 ///
 /// # Example
@@ -21,13 +19,29 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step: expands a 64-bit seed into well-mixed state words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed) }
+        let mut s = seed;
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        SimRng { state }
     }
 
     /// Splits off an independent, reproducible sub-stream.
@@ -35,18 +49,27 @@ impl SimRng {
     /// The child stream is keyed by both the parent state and `stream`, so
     /// distinct labels yield decorrelated generators.
     pub fn fork(&mut self, stream: u64) -> SimRng {
-        let base = self.inner.next_u64();
+        let base = self.next_u64();
         SimRng::seed_from(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut n2 = s2 ^ s0;
+        let n3 = s3 ^ s1;
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        self.state = [n0, n1, n2, n3.rotate_left(45)];
+        result
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Uniform `f64` in `[0, 1)` (53 high bits of a raw draw).
     pub fn f64(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform `f64` in `[low, high)`.
@@ -56,7 +79,13 @@ impl SimRng {
     /// Panics if `low >= high`.
     pub fn f64_range(&mut self, low: f64, high: f64) -> f64 {
         assert!(low < high, "empty range [{low}, {high})");
-        self.inner.random_range(low..high)
+        let x = low + self.f64() * (high - low);
+        // Floating rounding can land exactly on `high`; fold it back in.
+        if x < high {
+            x
+        } else {
+            low
+        }
     }
 
     /// Uniform `u64` in `[low, high)`.
@@ -66,7 +95,19 @@ impl SimRng {
     /// Panics if `low >= high`.
     pub fn u64_range(&mut self, low: u64, high: u64) -> u64 {
         assert!(low < high, "empty range [{low}, {high})");
-        self.inner.random_range(low..high)
+        low + self.bounded(high - low)
+    }
+
+    /// Unbiased draw in `[0, bound)` via bitmask rejection.
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mask = u64::MAX >> (bound - 1).leading_zeros().min(63);
+        loop {
+            let candidate = self.next_u64() & mask;
+            if candidate < bound {
+                return candidate;
+            }
+        }
     }
 
     /// Uniform index in `[0, len)`.
@@ -76,7 +117,7 @@ impl SimRng {
     /// Panics if `len == 0`.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "cannot sample an index from an empty collection");
-        self.inner.random_range(0..len)
+        self.bounded(len as u64) as usize
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
@@ -103,6 +144,31 @@ impl SimRng {
             idx.swap(i, j);
         }
         idx[..take].iter().map(|&i| items[i].clone()).collect()
+    }
+
+    /// Allocation-free [`SimRng::choose_multiple`]: writes up to `n`
+    /// distinct elements into `out` (cleared first), reusing its capacity.
+    ///
+    /// Draws the exact same random sequence as `choose_multiple` on the
+    /// same input — the partial Fisher-Yates runs over the copied elements
+    /// instead of an index array — so the two are interchangeable without
+    /// perturbing a simulation's determinism.
+    pub fn choose_multiple_into<T: Copy>(&mut self, items: &[T], n: usize, out: &mut Vec<T>) {
+        out.clear();
+        out.extend_from_slice(items);
+        self.sample_in_place(out, n);
+    }
+
+    /// Uniformly samples `min(n, len)` elements of `items` in place,
+    /// truncating the vector to the sample. Draws the same random
+    /// sequence as [`SimRng::choose_multiple`] over the same items.
+    pub fn sample_in_place<T>(&mut self, items: &mut Vec<T>, n: usize) {
+        let take = n.min(items.len());
+        for i in 0..take {
+            let j = i + self.index(items.len() - i);
+            items.swap(i, j);
+        }
+        items.truncate(take);
     }
 
     /// Samples an index from a discrete distribution given by `weights`.
@@ -199,6 +265,14 @@ mod tests {
     }
 
     #[test]
+    fn full_width_range_is_reachable() {
+        let mut rng = SimRng::seed_from(11);
+        for _ in 0..32 {
+            let _ = rng.u64_range(0, u64::MAX);
+        }
+    }
+
+    #[test]
     fn choose_multiple_is_distinct_and_bounded() {
         let mut rng = SimRng::seed_from(77);
         let items: Vec<u32> = (0..50).collect();
@@ -209,6 +283,23 @@ mod tests {
             sorted.sort_unstable();
             sorted.dedup();
             assert_eq!(sorted.len(), picked.len(), "duplicates in sample");
+        }
+    }
+
+    #[test]
+    fn choose_multiple_into_matches_allocating_variant() {
+        // Same seed, same input: the buffered variant must consume the
+        // same draws and produce the same sample, or swapping it into the
+        // simulation hot path would change every seeded run.
+        let items: Vec<u32> = (0..37).collect();
+        let mut out = Vec::new();
+        for n in [0, 1, 4, 36, 37, 50] {
+            let mut a = SimRng::seed_from(123);
+            let mut b = SimRng::seed_from(123);
+            let picked = a.choose_multiple(&items, n);
+            b.choose_multiple_into(&items, n, &mut out);
+            assert_eq!(picked, out, "n={n}");
+            assert_eq!(a.next_u64(), b.next_u64(), "rng states diverged at n={n}");
         }
     }
 

@@ -26,6 +26,9 @@ fn every_submitted_job_completes() {
         world.run();
         assert_eq!(world.metrics().completed_count(), 200, "rescheduling={rescheduling}");
         assert!(world.abandoned_jobs().is_empty());
+        // Release builds clamp past-scheduled events instead of asserting;
+        // the counter proves no clamp ever happened.
+        assert_eq!(world.clamped_events(), 0);
     }
 }
 
@@ -60,11 +63,8 @@ fn rescheduling_improves_mean_completion_under_load() {
 
 #[test]
 fn rescheduling_raises_utilization() {
-    let mut plain = loaded_world(false, 3);
-    plain.run();
-    let mut dynamic = loaded_world(true, 3);
-    dynamic.run();
     // Compare average idle-node counts over the busy first 10 hours.
+    // Single seeds are noisy at this scale, so average a few.
     let busy_window = |world: &World| {
         let series = world.metrics().idle_series();
         let samples = (SimTime::from_hours(10).as_millis()
@@ -72,9 +72,22 @@ fn rescheduling_raises_utilization() {
         let values = &series.values()[..samples.min(series.len())];
         values.iter().sum::<f64>() / values.len() as f64
     };
+    let seeds = [1, 2, 3, 4, 5];
+    let mean_idle = |rescheduling: bool| {
+        seeds
+            .iter()
+            .map(|&seed| {
+                let mut world = loaded_world(rescheduling, seed);
+                world.run();
+                busy_window(&world)
+            })
+            .sum::<f64>()
+            / seeds.len() as f64
+    };
+    let (plain, dynamic) = (mean_idle(false), mean_idle(true));
     assert!(
-        busy_window(&dynamic) <= busy_window(&plain),
-        "rescheduling should not leave more nodes idle"
+        dynamic <= plain,
+        "rescheduling should not leave more nodes idle: {dynamic} vs {plain}"
     );
 }
 

@@ -57,6 +57,8 @@ proptest! {
         deadline in any::<bool>(),
     ) {
         let world = run_world(seed, nodes, job_count, interval, rescheduling, deadline);
+        // Causality: nothing was ever scheduled in the past and clamped.
+        prop_assert_eq!(world.clamped_events(), 0);
         let metrics = world.metrics();
         prop_assert_eq!(metrics.completed_count(), job_count as u64);
         for record in metrics.records().values() {
@@ -220,5 +222,37 @@ proptest! {
         // so the final sample is bounded by (and usually equals) the total.
         prop_assert!(*completed.last().unwrap() <= 20.0);
         prop_assert_eq!(metrics.completed_count(), 20);
+    }
+}
+
+/// Pinned regression for a recorded `jobs_complete_once_on_matching_nodes`
+/// failure at `seed = 914, nodes = 17, rescheduling = false`: the
+/// rescheduling branch of ACCEPT handling was not gated on
+/// `config.aria.rescheduling`, so a late offer could move a job — and count
+/// a reschedule — in a world where movement is disabled, breaking the
+/// `reschedules == assignments - 1` identity. Sweep the remaining fuzzed
+/// dimensions to cover the whole recorded neighborhood.
+#[test]
+fn regression_seed_914_stale_accept_must_not_move_jobs() {
+    for job_count in [5, 12, 24, 39] {
+        for interval in [5, 30, 119] {
+            for deadline in [false, true] {
+                let world = run_world(914, 17, job_count, interval, false, deadline);
+                let metrics = world.metrics();
+                assert_eq!(
+                    metrics.completed_count(),
+                    job_count as u64,
+                    "job_count={job_count} interval={interval} deadline={deadline}"
+                );
+                for record in metrics.records().values() {
+                    assert!(record.is_completed());
+                    assert!(record.assignments >= 1);
+                    assert_eq!(record.reschedules, record.assignments - 1);
+                    // Movement is disabled: one assignment, zero reschedules.
+                    assert_eq!(record.assignments, 1);
+                    assert_eq!(record.reschedules, 0);
+                }
+            }
+        }
     }
 }

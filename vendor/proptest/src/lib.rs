@@ -1,0 +1,239 @@
+//! Offline stand-in for `proptest`, vendored so the workspace tests run
+//! with no registry access. It implements the API subset the workspace
+//! uses — `proptest!`, `prop_compose!`, `prop_oneof!`, the `prop_assert*`
+//! macros, range/tuple/string strategies, `any`, `Just`,
+//! `collection::vec`, `option::of` and `sample::select` — over a
+//! deterministic per-test case generator (no shrinking, no persistence).
+//!
+//! Each test draws its cases from a stream seeded by the test's module
+//! path and name, so failures reproduce exactly across runs and
+//! machines. Known regressions are pinned as explicit `#[test]` cases in
+//! the test files themselves rather than replayed from
+//! `.proptest-regressions` seeds.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies over `Option`.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A strategy wrapping another's values in `Option`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` four times out of five, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(5) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Strategies sampling from explicit value sets.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A strategy choosing uniformly from a fixed list.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Chooses uniformly among the given values.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// The common imports: strategies, config and the test macros.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// Runs each test body over deterministically generated inputs.
+///
+/// Supports an optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` and any number of
+/// `#[test] fn name(binding in strategy, ...) { body }` items. Inputs are
+/// debug-printed into the panic message when a case fails.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $($(#[$meta:meta])* fn $name:ident($($field:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $field = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let mut inputs = ::std::string::String::new();
+                    $(
+                        inputs.push_str(concat!(stringify!($field), " = "));
+                        inputs.push_str(&::std::format!("{:?}, ", &$field));
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        ::std::panic!(
+                            "proptest `{}` case {} failed: {}\n  inputs: {}",
+                            stringify!($name),
+                            case,
+                            e,
+                            inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Fails the enclosing proptest case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing proptest case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Fails the enclosing proptest case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(left != right, $($fmt)+);
+    }};
+}
+
+/// Defines a function returning a composite strategy.
+///
+/// Supports the single-argument-list form used in this workspace:
+/// `fn name()(binding in strategy, ...) -> Type { body }`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($outer:tt)*)($($field:ident in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::from_fn(move |rng| {
+                $(let $field = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}

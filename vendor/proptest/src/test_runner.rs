@@ -1,0 +1,132 @@
+//! The case runner's support types: configuration, failure reporting and
+//! the deterministic per-test RNG.
+
+use std::fmt;
+
+/// How many cases `proptest!` runs per property.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property assertion (carried out of the case body by the
+/// `prop_assert*` macros).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic case generator: a SplitMix64 stream keyed by the
+/// property's fully qualified name and the case index, so every run of
+/// every build generates the same inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The RNG for one case of one property.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut rng = TestRng { state: hash ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) };
+        // One warm-up step decorrelates nearby case indices.
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Unbiased draw in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot draw below zero");
+        let mask = u64::MAX >> (bound - 1).leading_zeros().min(63);
+        loop {
+            let candidate = self.next_u64() & mask;
+            if candidate < bound {
+                return candidate;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_streams_are_reproducible() {
+        let mut a = TestRng::for_case("some::test", 3);
+        let mut b = TestRng::for_case("some::test", 3);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_names_and_cases_diverge() {
+        let mut a = TestRng::for_case("some::test", 0);
+        let mut b = TestRng::for_case("some::test", 1);
+        let mut c = TestRng::for_case("other::test", 0);
+        let first = a.next_u64();
+        assert_ne!(first, b.next_u64());
+        assert_ne!(first, c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bounds() {
+        let mut rng = TestRng::for_case("bounds", 0);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..100 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+}

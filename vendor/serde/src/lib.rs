@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`, vendored so the workspace builds with
+//! no registry access. It provides the two marker traits and re-exports
+//! the no-op derive macros; nothing in this workspace serializes at
+//! runtime (there is no `serde_json`-style consumer), the derives exist
+//! so type definitions keep the upstream-compatible annotations.
+//!
+//! Swapping the real `serde` back in is a one-line change in the
+//! workspace `Cargo.toml`; no source file needs to change.
+
+/// Marker for types declaring themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types declaring themselves deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,16 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored `serde`
+//! stand-in. They accept (and ignore) `#[serde(...)]` helper attributes
+//! and expand to nothing: the workspace keeps its derive annotations,
+//! and nothing downstream requires the trait bounds to hold.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
