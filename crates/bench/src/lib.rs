@@ -13,3 +13,6 @@
 //! Run them with `cargo bench --workspace`. For the full-scale
 //! experiment numbers use the reproduction harness instead:
 //! `cargo run --release -p aria-scenarios --bin reproduce -- all`.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+

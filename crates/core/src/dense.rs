@@ -61,6 +61,11 @@ impl NodeBitset {
     pub fn clear(&mut self) {
         self.words.fill(0);
     }
+
+    /// Whether the set contains no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
 }
 
 /// Book-keeping for one active flood: duplicate suppression plus the
@@ -131,6 +136,17 @@ impl FloodTable {
     pub fn capacity(&self) -> usize {
         self.slots.len()
     }
+
+    /// Iterates over every slot ever allocated, live or recycled, with
+    /// its raw id (inspection hook for `World::check_invariants`).
+    pub fn slots(&self) -> impl Iterator<Item = (u32, &FloodSlot)> + '_ {
+        self.slots.iter().enumerate().map(|(i, slot)| (i as u32, slot))
+    }
+
+    /// The raw ids currently on the free-list (recycled slots).
+    pub fn free_ids(&self) -> &[u32] {
+        &self.free
+    }
 }
 
 /// An initiator's open offer collection for one job (§III-B).
@@ -196,6 +212,12 @@ impl JobTable {
     /// Removes and returns the job's open offer collection, if any.
     pub fn take_pending(&mut self, id: JobId) -> Option<PendingRequest> {
         self.slot_mut(id).pending.take()
+    }
+
+    /// Iterates over every registered job's slot (inspection hook for
+    /// `World::check_invariants`; gaps from sparse ids are skipped).
+    pub fn iter(&self) -> impl Iterator<Item = &JobSlot> + '_ {
+        self.slots.iter().flatten()
     }
 
     /// Drops every open offer collection whose initiator is `node`,
@@ -276,6 +298,64 @@ mod tests {
         assert_eq!(floods.capacity(), 2);
         assert!(!floods.get(c).visited.contains(NodeId::new(0)));
         assert!(floods.get(c).visited.contains(NodeId::new(2)));
+    }
+
+    #[test]
+    fn bitset_is_empty_tracks_contents() {
+        let mut set = NodeBitset::with_capacity(100);
+        assert!(set.is_empty());
+        set.insert(NodeId::new(64)); // a high word alone must count
+        assert!(!set.is_empty());
+        set.clear();
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn free_ids_and_slots_expose_the_free_list_state() {
+        let mut floods = FloodTable::default();
+        let a = floods.alloc(NodeId::new(0), 10);
+        let b = floods.alloc(NodeId::new(1), 10);
+        assert!(floods.free_ids().is_empty());
+        floods.release(a);
+        assert_eq!(floods.free_ids(), [a.0]);
+        // The live slot is still enumerable next to the freed one.
+        assert_eq!(floods.slots().count(), 2);
+        let (live, slot) = floods.slots().find(|&(id, _)| id == b.0).unwrap();
+        assert_eq!(live, b.0);
+        assert!(slot.visited.contains(NodeId::new(1)));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn releasing_a_flood_twice_panics_in_debug() {
+        let mut floods = FloodTable::default();
+        let id = floods.alloc(NodeId::new(0), 10);
+        floods.release(id);
+        floods.release(id);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "release of in-flight flood")]
+    fn releasing_an_in_flight_flood_panics_in_debug() {
+        let mut floods = FloodTable::default();
+        let id = floods.alloc(NodeId::new(0), 10);
+        floods.get_mut(id).in_flight = 3;
+        floods.release(id);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "recycled flood still in flight")]
+    fn recycling_a_corrupted_slot_panics_in_debug() {
+        let mut floods = FloodTable::default();
+        let id = floods.alloc(NodeId::new(0), 10);
+        floods.release(id);
+        // Corrupt the freed slot behind the free-list's back: the next
+        // alloc must refuse to hand out a slot that claims live traffic.
+        floods.get_mut(id).in_flight = 1;
+        floods.alloc(NodeId::new(1), 10);
     }
 
     #[test]

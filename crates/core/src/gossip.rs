@@ -23,7 +23,7 @@ use aria_metrics::{MetricsCollector, TrafficClass};
 use aria_overlay::{builders, LatencyModel, Topology};
 use aria_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use aria_workload::{ArtModel, JobGenerator, ProfileGenerator, SubmissionSchedule};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::config::PolicyMix;
 
@@ -73,7 +73,7 @@ enum Event {
 pub struct GossipScheduler {
     profiles: Vec<NodeProfile>,
     queues: Vec<SchedulerQueue>,
-    caches: Vec<HashMap<usize, CacheEntry>>,
+    caches: Vec<BTreeMap<usize, CacheEntry>>,
     topology: Topology,
     events: EventQueue<Event>,
     metrics: MetricsCollector,
@@ -121,7 +121,7 @@ impl GossipScheduler {
         let mut scheduler = GossipScheduler {
             profiles,
             queues,
-            caches: vec![HashMap::new(); nodes],
+            caches: vec![BTreeMap::new(); nodes],
             topology,
             events,
             metrics: MetricsCollector::new(sample_period),
@@ -302,7 +302,7 @@ impl GossipScheduler {
         if self.caches.is_empty() {
             return 0.0;
         }
-        self.caches.iter().map(HashMap::len).sum::<usize>() as f64 / self.caches.len() as f64
+        self.caches.iter().map(BTreeMap::len).sum::<usize>() as f64 / self.caches.len() as f64
     }
 }
 

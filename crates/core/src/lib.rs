@@ -55,6 +55,9 @@
 //! assert_eq!(metrics.completed_count(), 20);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod central;
 pub mod gossip;
 pub mod config;

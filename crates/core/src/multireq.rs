@@ -18,7 +18,7 @@ use aria_grid::{JobId, JobSpec, NodeProfile, SchedulerQueue};
 use aria_metrics::MetricsCollector;
 use aria_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use aria_workload::{ArtModel, JobGenerator, ProfileGenerator, SubmissionSchedule};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::config::PolicyMix;
 
@@ -66,7 +66,7 @@ pub struct MultiRequestScheduler {
     replicas: usize,
     revoke_latency: SimDuration,
     /// Nodes still holding a queued replica of each unstarted job.
-    replica_sites: HashMap<JobId, Vec<usize>>,
+    replica_sites: BTreeMap<JobId, Vec<usize>>,
     /// Replicas enqueued then cancelled (the scheme's wasted work).
     revoked_replicas: u64,
 }
@@ -108,7 +108,7 @@ impl MultiRequestScheduler {
             sample_period,
             replicas,
             revoke_latency: SimDuration::from_millis(300),
-            replica_sites: HashMap::new(),
+            replica_sites: BTreeMap::new(),
             revoked_replicas: 0,
         }
     }

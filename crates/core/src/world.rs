@@ -49,6 +49,16 @@ use aria_overlay::{builders, Blatant, NodeId, Topology};
 use aria_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use aria_workload::{JobGenerator, ProfileGenerator, SubmissionSchedule};
 
+/// How often [`World::run`]/[`World::run_until`] audit the protocol state
+/// machine in debug builds: every this-many drained events (plus once
+/// after the queue drains). [`World::check_invariants`] walks every node,
+/// job and pending event, so running it per event would turn a
+/// million-event debug run quadratic; a power-of-two stride keeps the
+/// audit cheap while still catching corruption within 64 events of its
+/// cause. [`World::run_checked`] checks every event regardless.
+#[cfg_attr(not(debug_assertions), allow(dead_code))]
+const INVARIANT_STRIDE: u64 = 64;
+
 /// A simulation event.
 ///
 /// Events are small and `Copy`: job payloads live in the world's job
@@ -303,7 +313,13 @@ impl World {
         while let Some((now, event)) = self.events.pop() {
             self.processed += 1;
             self.handle(now, event);
+            #[cfg(debug_assertions)]
+            if self.processed.is_multiple_of(INVARIANT_STRIDE) {
+                self.check_invariants();
+            }
         }
+        #[cfg(debug_assertions)]
+        self.check_invariants();
         &self.metrics
     }
 
@@ -313,6 +329,29 @@ impl World {
             let (now, event) = self.events.pop().expect("peeked event exists");
             self.processed += 1;
             self.handle(now, event);
+            #[cfg(debug_assertions)]
+            if self.processed.is_multiple_of(INVARIANT_STRIDE) {
+                self.check_invariants();
+            }
+        }
+        #[cfg(debug_assertions)]
+        self.check_invariants();
+        &self.metrics
+    }
+
+    /// Runs to completion like [`World::run`], auditing the full protocol
+    /// state machine with [`World::check_invariants`] after **every**
+    /// drained event, in every build profile.
+    ///
+    /// The checks are read-only, so a checked run produces bit-for-bit
+    /// the same metrics as [`World::run`] — the `invariants_golden` test
+    /// pins that equivalence. Use this in tests and CI; per-event
+    /// auditing is too slow for paper-scale campaigns.
+    pub fn run_checked(&mut self) -> &MetricsCollector {
+        while let Some((now, event)) = self.events.pop() {
+            self.processed += 1;
+            self.handle(now, event);
+            self.check_invariants();
         }
         &self.metrics
     }
@@ -320,6 +359,216 @@ impl World {
     /// Total number of events handled by [`World::run`]/[`World::run_until`].
     pub fn processed_events(&self) -> u64 {
         self.processed
+    }
+
+    // --- protocol state-machine auditing ---------------------------------------
+
+    /// Audits the complete protocol state machine, panicking on the first
+    /// violated invariant. Read-only: a passing check has no effect on
+    /// the run whatsoever.
+    ///
+    /// This consolidates what used to be scattered `debug_assert`s into
+    /// one pass, and cross-checks state that no single call site can see:
+    ///
+    /// * **Causality** — no event was ever scheduled in the past
+    ///   ([`EventQueue::clamped_count`] is zero).
+    /// * **Queue integrity** — every node's queue is ordered per its
+    ///   policy and duplicate-free ([`SchedulerQueue::validate`]); crashed
+    ///   nodes hold no jobs; no job is held by two nodes at once.
+    /// * **Flood table integrity** — the free-list is duplicate-free,
+    ///   recycled slots have nothing in flight, and every live slot's
+    ///   `in_flight` count equals the number of REQUEST/INFORM messages
+    ///   of that flood actually pending in the event queue (live slots
+    ///   with zero in flight would be leaks: the world recycles them
+    ///   eagerly).
+    /// * **Offer-window discipline** — an open offer collection implies
+    ///   an alive initiator, a pending `AcceptWindowClosed` event for the
+    ///   job (ACCEPTs are only gathered inside their window, §III-B/C),
+    ///   and a job not yet queued anywhere.
+    /// * **Job conservation** — every registered job is accounted for in
+    ///   exactly the protocol stages REQUEST/ACCEPT/ASSIGN/INFORM allow:
+    ///   completed, queued or running on one node, collecting offers,
+    ///   referenced by a pending submission/retry/recovery/delivery
+    ///   event, abandoned, or lost to a crash. Completed jobs appear in
+    ///   no queue.
+    /// * **Record sanity** — per-job timestamps are monotone
+    ///   (submitted ≤ assigned ≤ started ≤ completed), reschedules stay
+    ///   below assignments, and a world with rescheduling disabled never
+    ///   records a reschedule (the PR-1 stale-ACCEPT regression).
+    ///
+    /// [`World::run`] and [`World::run_until`] call this every
+    /// [`INVARIANT_STRIDE`] events in debug builds (and once after the
+    /// queue drains); [`World::run_checked`] calls it after every event
+    /// in every profile. Cost is `O(nodes + jobs + pending events)`.
+    pub fn check_invariants(&self) {
+        use std::collections::BTreeMap;
+
+        // Causality: nothing was ever scheduled in the past.
+        assert_eq!(
+            self.events.clamped_count(),
+            0,
+            "invariant: {} event(s) were scheduled in the past and clamped",
+            self.events.clamped_count()
+        );
+
+        // Queue integrity; collect who holds which job.
+        let mut held: BTreeMap<JobId, NodeId> = BTreeMap::new();
+        for (i, state) in self.nodes.iter().enumerate() {
+            let node = NodeId::new(i as u32);
+            state.queue.validate();
+            if !state.alive {
+                assert!(
+                    state.queue.is_idle(),
+                    "invariant: crashed node {node} still holds jobs"
+                );
+                continue;
+            }
+            let running = state.queue.running().map(|r| r.spec.id);
+            for id in state.queue.waiting().iter().map(|j| j.spec.id).chain(running) {
+                if let Some(elsewhere) = held.insert(id, node) {
+                    panic!("invariant: {id} held by both {elsewhere} and {node}");
+                }
+            }
+        }
+
+        // Pending-event census: per-flood in-flight counts, open accept
+        // windows, and jobs kept alive by an in-flight event.
+        let mut in_flight: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut windows: Vec<JobId> = Vec::new();
+        let mut referenced: Vec<JobId> = Vec::new();
+        for (_, event) in self.events.iter() {
+            match *event {
+                Event::Deliver { msg, .. } => match msg {
+                    Message::Request { flood, job, .. } | Message::Inform { flood, job, .. } => {
+                        *in_flight.entry(flood.0).or_insert(0) += 1;
+                        referenced.push(job);
+                    }
+                    Message::Assign { job, .. } | Message::Accept { job, .. } => {
+                        referenced.push(job);
+                    }
+                },
+                Event::Submit { job }
+                | Event::RetryRequest { job, .. }
+                | Event::ExecutionComplete { job, .. }
+                | Event::RecoverJob { job } => referenced.push(job),
+                Event::AcceptWindowClosed { job, .. } => windows.push(job),
+                Event::InformTick { .. }
+                | Event::DispatchRetry { .. }
+                | Event::Join
+                | Event::Crash
+                | Event::Sample => {}
+            }
+        }
+        referenced.sort_unstable();
+        windows.sort_unstable();
+
+        // Flood table: free-list duplicate-free, recycled slots drained,
+        // live slots' in-flight counts match the census exactly.
+        let mut free = self.floods.free_ids().to_vec();
+        free.sort_unstable();
+        assert!(
+            free.windows(2).all(|w| w[0] != w[1]),
+            "invariant: flood free-list holds a slot twice"
+        );
+        for (id, slot) in self.floods.slots() {
+            let censused = in_flight.get(&id).copied().unwrap_or(0);
+            if free.binary_search(&id).is_ok() {
+                assert_eq!(
+                    slot.in_flight, 0,
+                    "invariant: recycled flood slot {id} claims {} in flight",
+                    slot.in_flight
+                );
+                assert_eq!(
+                    censused, 0,
+                    "invariant: {censused} message(s) pending for recycled flood slot {id}"
+                );
+            } else {
+                assert_eq!(
+                    slot.in_flight, censused,
+                    "invariant: flood {id} counts {} in flight but {censused} are pending",
+                    slot.in_flight
+                );
+                assert!(
+                    slot.in_flight > 0,
+                    "invariant: drained flood slot {id} was not recycled"
+                );
+                assert!(
+                    !slot.visited.is_empty(),
+                    "invariant: live flood {id} has an empty visited set (origin missing)"
+                );
+            }
+        }
+
+        // Per-job accounting.
+        for slot in self.jobs.iter() {
+            let id = slot.spec.id;
+            let record = self.metrics.records().get(&id);
+            let completed = record.is_some_and(|r| r.is_completed());
+            if completed {
+                assert!(
+                    !held.contains_key(&id),
+                    "invariant: completed job {id} still sits in a queue"
+                );
+            }
+            if slot.pending.is_some() {
+                let initiator =
+                    slot.initiator.expect("invariant: offer collection without an initiator");
+                assert!(
+                    self.nodes[initiator.index()].alive,
+                    "invariant: {id} collects offers at crashed initiator {initiator}"
+                );
+                assert!(
+                    windows.binary_search(&id).is_ok(),
+                    "invariant: {id} collects offers with no open ACCEPT window"
+                );
+                assert!(
+                    !held.contains_key(&id),
+                    "invariant: {id} collects offers while already queued"
+                );
+                assert!(!completed, "invariant: completed job {id} collects offers");
+            }
+            let accounted = completed
+                || held.contains_key(&id)
+                || slot.pending.is_some()
+                || referenced.binary_search(&id).is_ok()
+                || windows.binary_search(&id).is_ok()
+                || self.abandoned.contains(&id)
+                || self.lost.contains(&id);
+            assert!(
+                accounted,
+                "invariant: {id} vanished — not queued, collecting, in flight, completed, \
+                 abandoned or lost"
+            );
+            if let Some(r) = record {
+                assert!(
+                    r.first_assigned_at.is_none_or(|t| t >= r.submitted_at),
+                    "invariant: {id} assigned before submission"
+                );
+                assert!(
+                    r.started_at.is_none_or(|t| Some(t) >= r.first_assigned_at.or(Some(t))
+                        && t >= r.submitted_at),
+                    "invariant: {id} started before assignment"
+                );
+                assert!(
+                    r.completed_at.is_none_or(|t| Some(t) >= r.started_at.or(Some(t))),
+                    "invariant: {id} completed before it started"
+                );
+                if r.assignments > 0 {
+                    assert!(
+                        r.reschedules < r.assignments,
+                        "invariant: {id} has {} reschedules out of {} assignments",
+                        r.reschedules,
+                        r.assignments
+                    );
+                }
+                if !self.config.aria.rescheduling {
+                    assert_eq!(
+                        r.reschedules, 0,
+                        "invariant: {id} was rescheduled with rescheduling disabled"
+                    );
+                }
+            }
+        }
     }
 
     fn handle(&mut self, now: SimTime, event: Event) {

@@ -499,20 +499,58 @@ impl SchedulerQueue {
         keyed.into_iter().take(limit).map(|(_, id)| id).collect()
     }
 
+    /// The ordering key a job sorts by under this queue's policy
+    /// (smaller runs earlier; equal keys keep arrival order).
+    fn policy_key(&self, s: &JobSpec) -> i64 {
+        match self.policy {
+            Policy::Fcfs | Policy::Backfill => 0,
+            Policy::Sjf => s.ert.as_millis() as i64,
+            Policy::Ljf => -(s.ert.as_millis() as i64),
+            Policy::Priority => -(s.priority.0 as i64),
+            Policy::Edf => s.deadline.map_or(i64::MAX, |d| d.as_millis() as i64),
+        }
+    }
+
     /// Position at which a job would be inserted under the policy.
     fn insertion_index(&self, spec: &JobSpec) -> usize {
-        let key = |s: &JobSpec| -> i64 {
-            match self.policy {
-                Policy::Fcfs | Policy::Backfill => 0,
-                Policy::Sjf => s.ert.as_millis() as i64,
-                Policy::Ljf => -(s.ert.as_millis() as i64),
-                Policy::Priority => -(s.priority.0 as i64),
-                Policy::Edf => s.deadline.map_or(i64::MAX, |d| d.as_millis() as i64),
-            }
-        };
-        let candidate_key = key(spec);
+        let candidate_key = self.policy_key(spec);
         // Stable: insert after all entries with key <= candidate's.
-        self.waiting.partition_point(|j| key(&j.spec) <= candidate_key)
+        self.waiting.partition_point(|j| self.policy_key(&j.spec) <= candidate_key)
+    }
+
+    /// Audits the queue's internal invariants, panicking on violation:
+    ///
+    /// * the waiting list is sorted by the policy's ordering key
+    ///   (non-decreasing, so equal-keyed jobs keep arrival order);
+    /// * no job id appears twice among the waiting jobs;
+    /// * the running job is not simultaneously waiting.
+    ///
+    /// Read-only and side-effect free. Called per drained event by
+    /// `World::check_invariants` (debug builds / checked runs).
+    pub fn validate(&self) {
+        for pair in self.waiting.windows(2) {
+            assert!(
+                self.policy_key(&pair[0].spec) <= self.policy_key(&pair[1].spec),
+                "queue invariant: waiting list violates {} order ({} before {})",
+                self.policy,
+                pair[0].spec.id,
+                pair[1].spec.id,
+            );
+        }
+        for (i, job) in self.waiting.iter().enumerate() {
+            assert!(
+                !self.waiting[i + 1..].iter().any(|other| other.spec.id == job.spec.id),
+                "queue invariant: {} queued twice on one node",
+                job.spec.id,
+            );
+        }
+        if let Some(running) = &self.running {
+            assert!(
+                !self.is_waiting(running.spec.id),
+                "queue invariant: {} both running and waiting",
+                running.spec.id,
+            );
+        }
     }
 }
 

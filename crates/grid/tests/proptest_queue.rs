@@ -207,7 +207,7 @@ proptest! {
     ) {
         let p = profile(1.0);
         let mut queue = SchedulerQueue::new(Policy::Sjf);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for job in &jobs {
             if seen.insert(job.id) {
                 queue.enqueue(*job, SimTime::ZERO, &p);

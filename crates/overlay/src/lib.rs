@@ -37,6 +37,9 @@
 //! assert!(topo.avg_path_length() <= 9.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod blatant;
 pub mod builders;
 pub mod latency;

@@ -30,6 +30,9 @@
 //! assert_eq!(result.runs[0].completed, 30);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod catalog;
 pub mod figures;
 pub mod plot;

@@ -202,6 +202,22 @@ impl Runner {
     /// Builds the world for one run of `scenario` (applying any scale
     /// overrides) and executes it with the scenario's workload.
     pub fn run_once(&self, scenario: Scenario, seed: u64) -> RunStats {
+        self.run_once_with(scenario, seed, false)
+    }
+
+    /// Like [`Runner::run_once`], but audits the full protocol state
+    /// machine after every drained event via
+    /// [`World::check_invariants`], in every build profile.
+    ///
+    /// The audit is read-only, so the returned statistics are
+    /// bit-for-bit identical to [`Runner::run_once`] for the same
+    /// `(scenario, seed)` — `tests/invariants_golden.rs` asserts
+    /// exactly that. Orders of magnitude slower; test-scale worlds only.
+    pub fn run_once_checked(&self, scenario: Scenario, seed: u64) -> RunStats {
+        self.run_once_with(scenario, seed, true)
+    }
+
+    fn run_once_with(&self, scenario: Scenario, seed: u64, checked: bool) -> RunStats {
         let mut config = scenario.world_config();
         if let Some(nodes) = self.nodes {
             let shrink = nodes as f64 / config.nodes as f64;
@@ -217,7 +233,11 @@ impl Runner {
         let mut world = World::new(config, seed);
         let mut generator = JobGenerator::new(scenario.job_config());
         world.submit_schedule(&schedule, &mut generator);
-        world.run();
+        if checked {
+            world.run_checked();
+        } else {
+            world.run();
+        }
 
         let metrics = world.metrics();
         let completions: Vec<f64> = metrics

@@ -139,6 +139,16 @@ impl<E> EventQueue<E> {
         self.heap.first().map(|e| e.at)
     }
 
+    /// Iterates over every pending event in unspecified (heap) order.
+    ///
+    /// This is an inspection hook for state-machine auditing — e.g.
+    /// `World::check_invariants` cross-checks per-flood in-flight counts
+    /// against the messages actually pending here. Delivery order is
+    /// still decided exclusively by [`EventQueue::pop`].
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &E)> + '_ {
+        self.heap.iter().map(|e| (e.at, &e.event))
+    }
+
     /// The time of the most recently popped event (the simulation clock).
     pub fn now(&self) -> SimTime {
         self.now
@@ -229,8 +239,19 @@ mod tests {
         assert_eq!(q.clamped_count(), 0);
     }
 
-    // The debug_assert in `schedule` catches past scheduling first in
-    // debug builds; the counter is the release-build guard.
+    // The two halves of the past-scheduling guard: debug builds panic at
+    // the offending `schedule` call, release builds clamp silently and
+    // bump the counter for `World::check_invariants` to catch.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_schedules_panic_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), 'a');
+        q.pop();
+        q.schedule(SimTime::from_secs(3), 'b');
+    }
+
     #[cfg(not(debug_assertions))]
     #[test]
     fn past_schedules_are_clamped_and_counted() {
@@ -270,6 +291,20 @@ mod tests {
         expected.sort();
         popped.extend(std::iter::from_fn(|| q.pop()));
         assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn iter_visits_every_pending_event_without_consuming() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), 'b');
+        q.schedule(SimTime::from_secs(1), 'a');
+        let mut seen: Vec<(SimTime, char)> = q.iter().map(|(t, &e)| (t, e)).collect();
+        seen.sort();
+        assert_eq!(
+            seen,
+            [(SimTime::from_secs(1), 'a'), (SimTime::from_secs(2), 'b')]
+        );
+        assert_eq!(q.len(), 2, "iteration must not consume");
     }
 
     #[test]

@@ -32,6 +32,9 @@
 //! assert!(queue.pop().is_none());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod event;
 pub mod rng;
 pub mod series;

@@ -32,6 +32,9 @@
 //! # Ok::<(), aria_trace::SwfError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod replay;
 pub mod swf;
 

@@ -159,7 +159,7 @@ mod tests {
     fn capacities_are_uniform_over_levels() {
         let mut rng = SimRng::seed_from(3);
         let n = 50_000;
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for _ in 0..n {
             *counts.entry(CapacityDistribution::sample(&mut rng)).or_insert(0usize) += 1;
         }

@@ -138,7 +138,7 @@ proptest! {
         let mut rng = SimRng::seed_from(seed);
         let grid = ProfileGenerator::paper().generate_many(10, &mut rng);
         let mut generator = JobGenerator::paper_batch();
-        let mut ids = std::collections::HashSet::new();
+        let mut ids = std::collections::BTreeSet::new();
         for i in 0..n {
             let job = if i % 2 == 0 {
                 generator.generate(SimTime::ZERO, &mut rng)

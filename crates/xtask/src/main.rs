@@ -1,0 +1,221 @@
+//! Workspace automation (`cargo xtask <command>`).
+//!
+//! The only command today is `lint`: the determinism & protocol-hygiene
+//! gate described in DESIGN.md §10. It walks the sim-reachable sources
+//! with a dependency-free lexer (the build has no registry access, so no
+//! `syn`), applies the rules in [`rules`], checks every crate root for
+//! the mandatory hygiene attributes, and exits non-zero with `file:line`
+//! diagnostics on any violation.
+//!
+//! ```text
+//! cargo xtask lint               # gate the workspace
+//! cargo xtask lint --self-check  # prove the gate still catches seeded violations
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+mod rules;
+mod scan;
+
+use rules::Diagnostic;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose code runs inside (or builds the state of) the
+/// discrete-event simulation: the determinism rules apply to their
+/// sources, tests included.
+const SIM_REACHABLE_CRATES: &[&str] =
+    &["sim", "overlay", "grid", "workload", "metrics", "jsdl", "trace", "core", "scenarios"];
+
+/// Top-level directories compiled into sim-reachable test/example
+/// targets (they live outside `crates/` but drive the same worlds).
+const SIM_REACHABLE_DIRS: &[&str] = &["tests", "examples"];
+
+/// Crates exempt from the determinism rules (but not from the attribute
+/// check): `bench` times wall-clock throughput by design, `xtask` is
+/// this tool, and `vendor/*` are offline stand-ins for external crates.
+const EXEMPT_NOTE: &str = "crates/bench, crates/xtask and vendor/* are exempt from \
+                           determinism rules (wall-clock timing is their job)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            if args.iter().any(|a| a == "--self-check") {
+                self_check_gate()
+            } else {
+                lint(&workspace_root())
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint [--self-check]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Locates the workspace root: the nearest ancestor of the current
+/// directory (or of this crate's manifest) containing a top-level
+/// `Cargo.toml` with a `[workspace]` table.
+fn workspace_root() -> PathBuf {
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| std::env::current_dir().expect("current dir"));
+    let mut dir = start.as_path();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).unwrap_or_default();
+            if text.contains("[workspace]") {
+                return dir.to_path_buf();
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => panic!("no workspace root above {}", start.display()),
+        }
+    }
+}
+
+/// Runs the full gate over the workspace at `root`.
+fn lint(root: &Path) -> ExitCode {
+    let mut diagnostics = Vec::new();
+    let mut files = 0usize;
+
+    // 1. Determinism rules over every sim-reachable source file.
+    for source in sim_reachable_sources(root) {
+        let rel = source.strip_prefix(root).unwrap_or(&source).display().to_string();
+        let text = match std::fs::read_to_string(&source) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("xtask lint: cannot read {rel}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        files += 1;
+        diagnostics.extend(rules::check_determinism(&rel, &text));
+    }
+
+    // 2. Mandatory hygiene attributes on every crate root (including the
+    //    exempt crates: `forbid(unsafe_code)` is workspace-wide).
+    let mut roots = 0usize;
+    for crate_root in crate_roots(root) {
+        let rel = crate_root.strip_prefix(root).unwrap_or(&crate_root).display().to_string();
+        let text = std::fs::read_to_string(&crate_root).unwrap_or_default();
+        roots += 1;
+        diagnostics.extend(rules::check_crate_attrs(&rel, &text));
+    }
+
+    report(&diagnostics);
+    if diagnostics.is_empty() {
+        println!(
+            "xtask lint: clean — {files} sim-reachable files, {roots} crate roots checked \
+             ({EXEMPT_NOTE})"
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} violation(s)", diagnostics.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn report(diagnostics: &[Diagnostic]) {
+    for d in diagnostics {
+        eprintln!("{d}");
+    }
+}
+
+/// Every `.rs` file the determinism rules apply to, in sorted order.
+fn sim_reachable_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for name in SIM_REACHABLE_CRATES {
+        collect_rs(&root.join("crates").join(name), &mut files);
+    }
+    for dir in SIM_REACHABLE_DIRS {
+        collect_rs(&root.join(dir), &mut files);
+    }
+    files.sort();
+    files
+}
+
+/// The crate-root source of every workspace member (crates/* and
+/// vendor/*), in sorted order.
+fn crate_roots(root: &Path) -> Vec<PathBuf> {
+    let mut roots = Vec::new();
+    for group in ["crates", "vendor"] {
+        let Ok(entries) = std::fs::read_dir(root.join(group)) else { continue };
+        for entry in entries.flatten() {
+            let src = entry.path().join("src");
+            for candidate in [src.join("lib.rs"), src.join("main.rs")] {
+                if candidate.is_file() {
+                    roots.push(candidate);
+                    break;
+                }
+            }
+        }
+    }
+    roots.sort();
+    roots
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted traversal).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Proves the gate still catches violations: runs the rule engine over
+/// seeded-violation fixtures and fails if any rule has gone blind.
+///
+/// CI runs this next to the clean pass so a refactor of the lint itself
+/// cannot silently disable a rule.
+fn self_check_gate() -> ExitCode {
+    // Each fixture seeds exactly one violation the named rule must catch.
+    let seeded: &[(&str, &str)] = &[
+        ("hash-collections", "use std::collections::HashMap;\n"),
+        ("hash-collections", "let s: HashSet<u32> = HashSet::new();\n"),
+        ("wall-clock", "let t = std::time::Instant::now();\n"),
+        ("wall-clock", "let t = SystemTime::now();\n"),
+        ("ambient-rng", "let mut rng = rand::thread_rng();\n"),
+        (
+            "unordered-reduction",
+            "// det:allow(hash-collections): seeded\nlet s: f64 = m.values().sum::<f64>(); let m: HashMap<u32, f64> = x;\n",
+        ),
+    ];
+    let mut broken = 0;
+    for (rule, fixture) in seeded {
+        let diags = rules::check_determinism("<self-check>", fixture);
+        if !diags.iter().any(|d| d.rule == *rule) {
+            eprintln!("self-check: rule `{rule}` missed its seeded violation:\n{fixture}");
+            broken += 1;
+        }
+    }
+    // Allowlists must suppress — and only for the named rule.
+    let allowed = "let m = HashMap::new(); // det:allow(hash-collections): fixture\n";
+    if !rules::check_determinism("<self-check>", allowed).is_empty() {
+        eprintln!("self-check: allow marker failed to suppress");
+        broken += 1;
+    }
+    // The attribute check must notice a bare crate root.
+    if rules::check_crate_attrs("<self-check>", "pub fn f() {}\n").len()
+        != rules::REQUIRED_CRATE_ATTRS.len()
+    {
+        eprintln!("self-check: crate-attrs rule missed a bare crate root");
+        broken += 1;
+    }
+    if broken == 0 {
+        println!("xtask lint --self-check: all rules catch their seeded violations");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

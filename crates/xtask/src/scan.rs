@@ -1,0 +1,288 @@
+//! A minimal Rust source lexer for the determinism lint.
+//!
+//! The workspace builds with no registry access, so this is a
+//! hand-rolled scan instead of a `syn` parse: it splits a source file
+//! into per-line *code* and *comment* channels, blanking out string and
+//! character literals along the way. That is exactly the fidelity the
+//! lint rules need — patterns inside strings or comments must not fire,
+//! and allowlist markers live in comments — without pulling in a parser.
+//!
+//! Handled: line comments, nested block comments, string literals,
+//! raw strings (`r"…"`, `r#"…"#`, any hash depth), byte strings, char
+//! literals (including `'\''` escapes) vs. lifetimes (`'a`), and
+//! doc-comment forms of all of the above.
+
+/// One physical source line, split into channels.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line's code with comments removed and every string/char
+    /// literal's contents replaced by spaces (delimiters kept).
+    pub code: String,
+    /// The concatenated text of comments on this line.
+    pub comment: String,
+}
+
+/// Lexer state carried across lines.
+enum Mode {
+    Code,
+    /// Inside `/* … */`, with nesting depth.
+    Block(u32),
+    /// Inside a regular `"…"` string.
+    Str,
+    /// Inside a raw string with the given `#` count.
+    RawStr(u32),
+}
+
+/// Splits `source` into per-line code/comment channels.
+pub fn split_channels(source: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut mode = Mode::Code;
+    for (i, raw) in source.lines().enumerate() {
+        let mut line = Line { number: i + 1, ..Line::default() };
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut pos = 0;
+        while pos < bytes.len() {
+            match mode {
+                Mode::Block(depth) => {
+                    if bytes[pos] == '*' && bytes.get(pos + 1) == Some(&'/') {
+                        mode = if depth == 1 { Mode::Code } else { Mode::Block(depth - 1) };
+                        pos += 2;
+                    } else if bytes[pos] == '/' && bytes.get(pos + 1) == Some(&'*') {
+                        mode = Mode::Block(depth + 1);
+                        pos += 2;
+                    } else {
+                        line.comment.push(bytes[pos]);
+                        pos += 1;
+                    }
+                }
+                Mode::Str => {
+                    if bytes[pos] == '\\' {
+                        line.code.push(' ');
+                        if pos + 1 < bytes.len() {
+                            line.code.push(' ');
+                        }
+                        pos += 2;
+                    } else if bytes[pos] == '"' {
+                        line.code.push('"');
+                        mode = Mode::Code;
+                        pos += 1;
+                    } else {
+                        line.code.push(' ');
+                        pos += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if bytes[pos] == '"' && closes_raw(&bytes, pos, hashes) {
+                        line.code.push('"');
+                        for _ in 0..hashes {
+                            line.code.push('#');
+                        }
+                        pos += 1 + hashes as usize;
+                        mode = Mode::Code;
+                    } else {
+                        line.code.push(' ');
+                        pos += 1;
+                    }
+                }
+                Mode::Code => {
+                    let c = bytes[pos];
+                    if c == '/' && bytes.get(pos + 1) == Some(&'/') {
+                        line.comment.extend(&bytes[pos + 2..]);
+                        pos = bytes.len();
+                    } else if c == '/' && bytes.get(pos + 1) == Some(&'*') {
+                        mode = Mode::Block(1);
+                        pos += 2;
+                    } else if c == '"' {
+                        line.code.push('"');
+                        mode = Mode::Str;
+                        pos += 1;
+                    } else if let Some(hashes) = raw_string_opening(&bytes, pos) {
+                        // Emit the opener (`r##"`), then swallow contents.
+                        for &o in &bytes[pos..pos + opener_len(&bytes, pos, hashes)] {
+                            line.code.push(o);
+                        }
+                        pos += opener_len(&bytes, pos, hashes);
+                        mode = Mode::RawStr(hashes);
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: a lifetime is `'` +
+                        // ident with no closing quote right after.
+                        if let Some(end) = char_literal_end(&bytes, pos) {
+                            line.code.push('\'');
+                            for _ in pos + 1..end {
+                                line.code.push(' ');
+                            }
+                            line.code.push('\'');
+                            pos = end + 1;
+                        } else {
+                            line.code.push('\'');
+                            pos += 1;
+                        }
+                    } else {
+                        line.code.push(c);
+                        pos += 1;
+                    }
+                }
+            }
+        }
+        // A raw-string `\` does not escape the newline; a regular string
+        // continued over a line break simply stays in Str mode.
+        lines.push(line);
+    }
+    lines
+}
+
+/// Whether `bytes[pos..]` starts a raw (byte) string; returns the hash
+/// count if so. `pos` must point at `r` or `b`.
+fn raw_string_opening(bytes: &[char], pos: usize) -> Option<u32> {
+    let mut p = pos;
+    if bytes[p] == 'b' {
+        p += 1;
+    }
+    if bytes.get(p) != Some(&'r') {
+        return None;
+    }
+    // Don't mistake identifiers like `for r in …` → check the char
+    // before is not alphanumeric/underscore.
+    if pos > 0 {
+        let prev = bytes[pos - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return None;
+        }
+    }
+    p += 1;
+    let mut hashes = 0;
+    while bytes.get(p) == Some(&'#') {
+        hashes += 1;
+        p += 1;
+    }
+    if bytes.get(p) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Length of the raw-string opener starting at `pos` (`r"`, `br#"`, …).
+fn opener_len(bytes: &[char], pos: usize, hashes: u32) -> usize {
+    let b = usize::from(bytes[pos] == 'b');
+    b + 1 + hashes as usize + 1
+}
+
+/// Whether the `"` at `pos` is followed by `hashes` `#`s.
+fn closes_raw(bytes: &[char], pos: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|i| bytes.get(pos + i) == Some(&'#'))
+}
+
+/// If `bytes[pos]` (a `'`) opens a char literal, returns the index of
+/// its closing quote; `None` for lifetimes.
+fn char_literal_end(bytes: &[char], pos: usize) -> Option<usize> {
+    let next = *bytes.get(pos + 1)?;
+    if next == '\\' {
+        // Escaped char: scan to the next unescaped quote.
+        let mut p = pos + 2;
+        while p < bytes.len() {
+            if bytes[p] == '\\' {
+                p += 2;
+            } else if bytes[p] == '\'' {
+                return Some(p);
+            } else {
+                p += 1;
+            }
+        }
+        None
+    } else if bytes.get(pos + 2) == Some(&'\'') && next != '\'' {
+        Some(pos + 2)
+    } else {
+        None
+    }
+}
+
+/// Whether `needle` occurs in `haystack` delimited by non-identifier
+/// characters on both sides (a poor man's word-boundary match).
+pub fn contains_word(haystack: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(found) = haystack[start..].find(needle) {
+        let at = start + found;
+        let before_ok = at == 0
+            || !haystack[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= haystack.len()
+            || !haystack[after..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        split_channels(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_into_the_comment_channel() {
+        let lines = split_channels("let x = 1; // HashMap here\n");
+        assert_eq!(lines[0].code, "let x = 1; ");
+        assert!(lines[0].comment.contains("HashMap"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let code = code_of(r#"let s = "HashMap::new()";"#);
+        assert!(!code[0].contains("HashMap"), "{:?}", code[0]);
+        assert!(code[0].starts_with("let s = \""));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked_across_lines() {
+        let src = "let s = r#\"line one HashMap\nline two HashSet\"#;\nuse std::x;";
+        let code = code_of(src);
+        assert!(!code[0].contains("HashMap"));
+        assert!(!code[1].contains("HashSet"));
+        assert_eq!(code[2], "use std::x;");
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a /* one /* two */ still */ b\n/* open\nHashMap\n*/ c";
+        let lines = split_channels(src);
+        assert_eq!(lines[0].code.replace(' ', ""), "ab");
+        assert_eq!(lines[2].code, "");
+        assert!(lines[2].comment.contains("HashMap"));
+        assert_eq!(lines[3].code.trim(), "c");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_are_distinguished() {
+        let code = code_of("fn f<'a>(x: &'a str) { let c = 'H'; let q = '\\''; }");
+        assert!(code[0].contains("'a"), "{:?}", code[0]);
+        assert!(!code[0].contains('H'), "{:?}", code[0]);
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_the_literal() {
+        let code = code_of(r#"let s = "a\"HashMap\""; let t = 1;"#);
+        assert!(!code[0].contains("HashMap"));
+        assert!(code[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert!(contains_word("use std::collections::HashMap;", "HashMap"));
+        assert!(!contains_word("type MyHashMap = ();", "HashMap"));
+        assert!(!contains_word("HashMapLike", "HashMap"));
+        assert!(contains_word("HashMap<K, V>", "HashMap"));
+        assert!(contains_word("Instant::now()", "Instant"));
+        assert!(!contains_word("SimInstant", "Instant"));
+    }
+}

@@ -6,6 +6,13 @@
 //! that fills one sample, time `sample_size` samples, report
 //! min/median/max nanoseconds per iteration on stdout.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+// A wall-clock sampler cannot avoid the wall clock: the workspace-wide
+// determinism ban on `Instant` (clippy.toml) does not apply to the bench
+// scaffolding, which only observes the simulation from outside.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

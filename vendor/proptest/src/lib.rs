@@ -11,6 +11,9 @@
 //! the test files themselves rather than replayed from
 //! `.proptest-regressions` seeds.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod strategy;
 pub mod test_runner;
 

@@ -7,6 +7,9 @@
 //! Swapping the real `serde` back in is a one-line change in the
 //! workspace `Cargo.toml`; no source file needs to change.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 /// Marker for types declaring themselves serializable.
 pub trait Serialize {}
 

@@ -3,6 +3,9 @@
 //! and expand to nothing: the workspace keeps its derive annotations,
 //! and nothing downstream requires the trait bounds to hold.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use proc_macro::TokenStream;
 
 #[proc_macro_derive(Serialize, attributes(serde))]
