@@ -1,5 +1,6 @@
 //! Protocol and simulation configuration (§IV-E defaults).
 
+use crate::net::NetModel;
 use aria_grid::Policy;
 use aria_overlay::LatencyModel;
 use aria_sim::{SimDuration, SimRng, SimTime};
@@ -200,6 +201,11 @@ pub struct WorldConfig {
     /// Advance-reservation load committed on the nodes' executors
     /// (`None` in all paper scenarios).
     pub reservations: Option<ReservationPlan>,
+    /// The transport model resolving initiator placement, fanout picks
+    /// and latencies ([`NetModel::Sampled`] in every paper scenario;
+    /// [`NetModel::Lockstep`] only in exhaustive-exploration worlds).
+    #[serde(default)]
+    pub net: NetModel,
 }
 
 impl WorldConfig {
@@ -221,6 +227,7 @@ impl WorldConfig {
             failsafe: true,
             failsafe_detection: SimDuration::from_mins(5),
             reservations: None,
+            net: NetModel::Sampled,
         }
     }
 

@@ -70,7 +70,7 @@ impl NodeBitset {
 
 /// Book-keeping for one active flood: duplicate suppression plus the
 /// in-flight message count that decides when the slot can be recycled.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct FloodSlot {
     /// Nodes this flood has already reached (selective flooding, \[28\]).
     pub visited: NodeBitset,
@@ -84,7 +84,7 @@ pub(crate) struct FloodSlot {
 /// in flight; once the count drains to zero the world releases the slot
 /// and the id may be reissued. Callers therefore never hold a `FloodId`
 /// across a release.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct FloodTable {
     slots: Vec<FloodSlot>,
     free: Vec<u32>,
@@ -150,7 +150,7 @@ impl FloodTable {
 }
 
 /// An initiator's open offer collection for one job (§III-B).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct PendingRequest {
     /// REQUEST round counter (retries re-flood with a fresh round).
     pub round: u32,
@@ -159,7 +159,7 @@ pub(crate) struct PendingRequest {
 }
 
 /// Everything the world tracks per job, in one dense slot.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct JobSlot {
     /// The job's full description, interned at submission; messages and
     /// events carry only the [`JobId`].
@@ -178,7 +178,7 @@ pub(crate) struct JobSlot {
 /// Job ids are dense in the simulator (the generator numbers them from
 /// zero), so the table is a `Vec` with one slot per id; sparse hand-picked
 /// ids in tests simply leave gaps.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct JobTable {
     slots: Vec<Option<JobSlot>>,
 }

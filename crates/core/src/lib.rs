@@ -35,6 +35,13 @@
 //!   paper contrasts itself with (its reference \[13\]).
 //! * [`gossip`] — the gossip state-dissemination baseline (its
 //!   reference \[25\]): cached remote loads instead of on-demand floods.
+//! * [`net`] — the transport nondeterminism switch: [`NetModel::Sampled`]
+//!   draws the paper's latencies and fanout choices bit-for-bit,
+//!   [`NetModel::Lockstep`] makes them pure functions of the state so a
+//!   model checker can own the delivery order.
+//! * [`explore`] — the exploration surface on [`World`]: enumerating
+//!   pending deliveries, applying one [`Action`] at a time, canonical
+//!   state fingerprints. Driven by the `aria-model` checker.
 //!
 //! ## Example
 //!
@@ -62,13 +69,17 @@ pub mod central;
 pub mod gossip;
 pub mod config;
 mod dense;
+pub mod explore;
 pub mod msg;
 pub mod multireq;
+pub mod net;
 pub mod world;
 
 pub use central::CentralScheduler;
 pub use gossip::GossipScheduler;
 pub use config::{AriaConfig, OverlayKind, PolicyMix, ReservationPlan, WorldConfig};
+pub use explore::{Action, PendingDelivery};
 pub use msg::{FloodId, Message};
 pub use multireq::MultiRequestScheduler;
+pub use net::NetModel;
 pub use world::World;

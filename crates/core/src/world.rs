@@ -63,8 +63,11 @@ const INVARIANT_STRIDE: u64 = 64;
 ///
 /// Events are small and `Copy`: job payloads live in the world's job
 /// table and events carry only the [`JobId`].
-#[derive(Debug, Clone, Copy)]
-enum Event {
+///
+/// `pub(crate)` so [`crate::explore`] can enumerate and inject pending
+/// events; outside the crate the queue stays opaque.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Event {
     /// A message arrives at a node.
     Deliver { to: NodeId, msg: Message },
     /// A user submits a job to a random node.
@@ -93,47 +96,54 @@ enum Event {
 }
 
 /// Per-node protocol state.
-#[derive(Debug)]
-struct NodeState {
-    profile: NodeProfile,
-    queue: SchedulerQueue,
+#[derive(Debug, Clone)]
+pub(crate) struct NodeState {
+    pub(crate) profile: NodeProfile,
+    pub(crate) queue: SchedulerQueue,
     /// Crashed nodes stop participating entirely (failure injection).
-    alive: bool,
+    pub(crate) alive: bool,
 }
 
 /// A simulated ARiA grid.
 ///
 /// See the [crate-level example](crate) for typical usage.
-#[derive(Debug)]
+///
+/// `Clone` snapshots the complete simulation state — event queue, RNG,
+/// dense tables and metrics — so the bounded model checker
+/// (`aria-model`) can fork a world per frontier state. The scratch
+/// buffers clone too (cheap, and their contents never carry state
+/// between events). Fields are `pub(crate)` for [`crate::explore`];
+/// the public API stays the accessor surface below.
+#[derive(Debug, Clone)]
 pub struct World {
-    config: WorldConfig,
-    topology: Topology,
-    blatant: Blatant,
-    nodes: Vec<NodeState>,
-    events: EventQueue<Event>,
-    rng: SimRng,
-    metrics: MetricsCollector,
+    pub(crate) config: WorldConfig,
+    pub(crate) topology: Topology,
+    pub(crate) blatant: Blatant,
+    pub(crate) nodes: Vec<NodeState>,
+    pub(crate) events: EventQueue<Event>,
+    pub(crate) rng: SimRng,
+    pub(crate) metrics: MetricsCollector,
     /// Active floods, slot-recycled (see [`crate::dense`]).
-    floods: FloodTable,
+    pub(crate) floods: FloodTable,
     /// Per-job protocol state: interned spec, initiator, assignee and the
     /// initiator's open offer collection, all in one dense slot.
-    jobs: JobTable,
+    pub(crate) jobs: JobTable,
     /// Jobs whose REQUEST rounds were exhausted without an offer.
-    abandoned: Vec<JobId>,
+    pub(crate) abandoned: Vec<JobId>,
     /// Nodes taken down by failure injection.
-    crashed: Vec<NodeId>,
+    pub(crate) crashed: Vec<NodeId>,
     /// Jobs irrecoverably lost to crashes (failsafe off or initiator dead).
-    lost: Vec<JobId>,
+    pub(crate) lost: Vec<JobId>,
     /// Jobs re-discovered by the failsafe after a crash.
-    recovered: u64,
+    pub(crate) recovered: u64,
     /// Events handled so far (drives throughput reporting in the bench
     /// harness).
-    processed: u64,
+    pub(crate) processed: u64,
     /// Scratch buffer for fan-out candidate lists (hot path; reused so
     /// flood forwarding never allocates).
-    candidates: Vec<NodeId>,
+    pub(crate) candidates: Vec<NodeId>,
     /// Scratch buffer for sampled fan-out targets.
-    picked: Vec<NodeId>,
+    pub(crate) picked: Vec<NodeId>,
 }
 
 impl World {
@@ -401,12 +411,31 @@ impl World {
     /// queue drains); [`World::run_checked`] calls it after every event
     /// in every profile. Cost is `O(nodes + jobs + pending events)`.
     pub fn check_invariants(&self) {
+        if let Err(violation) = self.try_check_invariants() {
+            panic!("{violation}");
+        }
+    }
+
+    /// Non-panicking form of [`World::check_invariants`]: `Err` carries
+    /// the first violated invariant's message (same `invariant: ...` text
+    /// the panicking wrapper raises). The bounded model checker treats
+    /// this as a per-state safety property, so a violation becomes a
+    /// replayable counterexample trace instead of a panic.
+    pub fn try_check_invariants(&self) -> Result<(), String> {
         use std::collections::BTreeMap;
 
+        /// Early-returns the formatted message when the condition fails.
+        macro_rules! ensure {
+            ($cond:expr, $($arg:tt)+) => {
+                if !$cond {
+                    return Err(format!($($arg)+));
+                }
+            };
+        }
+
         // Causality: nothing was ever scheduled in the past.
-        assert_eq!(
-            self.events.clamped_count(),
-            0,
+        ensure!(
+            self.events.clamped_count() == 0,
             "invariant: {} event(s) were scheduled in the past and clamped",
             self.events.clamped_count()
         );
@@ -417,7 +446,7 @@ impl World {
             let node = NodeId::new(i as u32);
             state.queue.validate();
             if !state.alive {
-                assert!(
+                ensure!(
                     state.queue.is_idle(),
                     "invariant: crashed node {node} still holds jobs"
                 );
@@ -426,7 +455,7 @@ impl World {
             let running = state.queue.running().map(|r| r.spec.id);
             for id in state.queue.waiting().iter().map(|j| j.spec.id).chain(running) {
                 if let Some(elsewhere) = held.insert(id, node) {
-                    panic!("invariant: {id} held by both {elsewhere} and {node}");
+                    return Err(format!("invariant: {id} held by both {elsewhere} and {node}"));
                 }
             }
         }
@@ -466,33 +495,33 @@ impl World {
         // live slots' in-flight counts match the census exactly.
         let mut free = self.floods.free_ids().to_vec();
         free.sort_unstable();
-        assert!(
+        ensure!(
             free.windows(2).all(|w| w[0] != w[1]),
             "invariant: flood free-list holds a slot twice"
         );
         for (id, slot) in self.floods.slots() {
             let censused = in_flight.get(&id).copied().unwrap_or(0);
             if free.binary_search(&id).is_ok() {
-                assert_eq!(
-                    slot.in_flight, 0,
+                ensure!(
+                    slot.in_flight == 0,
                     "invariant: recycled flood slot {id} claims {} in flight",
                     slot.in_flight
                 );
-                assert_eq!(
-                    censused, 0,
+                ensure!(
+                    censused == 0,
                     "invariant: {censused} message(s) pending for recycled flood slot {id}"
                 );
             } else {
-                assert_eq!(
-                    slot.in_flight, censused,
+                ensure!(
+                    slot.in_flight == censused,
                     "invariant: flood {id} counts {} in flight but {censused} are pending",
                     slot.in_flight
                 );
-                assert!(
+                ensure!(
                     slot.in_flight > 0,
                     "invariant: drained flood slot {id} was not recycled"
                 );
-                assert!(
+                ensure!(
                     !slot.visited.is_empty(),
                     "invariant: live flood {id} has an empty visited set (origin missing)"
                 );
@@ -505,27 +534,28 @@ impl World {
             let record = self.metrics.records().get(&id);
             let completed = record.is_some_and(|r| r.is_completed());
             if completed {
-                assert!(
+                ensure!(
                     !held.contains_key(&id),
                     "invariant: completed job {id} still sits in a queue"
                 );
             }
             if slot.pending.is_some() {
-                let initiator =
-                    slot.initiator.expect("invariant: offer collection without an initiator");
-                assert!(
+                let Some(initiator) = slot.initiator else {
+                    return Err(format!("invariant: {id} collects offers without an initiator"));
+                };
+                ensure!(
                     self.nodes[initiator.index()].alive,
                     "invariant: {id} collects offers at crashed initiator {initiator}"
                 );
-                assert!(
+                ensure!(
                     windows.binary_search(&id).is_ok(),
                     "invariant: {id} collects offers with no open ACCEPT window"
                 );
-                assert!(
+                ensure!(
                     !held.contains_key(&id),
                     "invariant: {id} collects offers while already queued"
                 );
-                assert!(!completed, "invariant: completed job {id} collects offers");
+                ensure!(!completed, "invariant: completed job {id} collects offers");
             }
             let accounted = completed
                 || held.contains_key(&id)
@@ -534,27 +564,27 @@ impl World {
                 || windows.binary_search(&id).is_ok()
                 || self.abandoned.contains(&id)
                 || self.lost.contains(&id);
-            assert!(
+            ensure!(
                 accounted,
                 "invariant: {id} vanished — not queued, collecting, in flight, completed, \
                  abandoned or lost"
             );
             if let Some(r) = record {
-                assert!(
+                ensure!(
                     r.first_assigned_at.is_none_or(|t| t >= r.submitted_at),
                     "invariant: {id} assigned before submission"
                 );
-                assert!(
+                ensure!(
                     r.started_at.is_none_or(|t| Some(t) >= r.first_assigned_at.or(Some(t))
                         && t >= r.submitted_at),
                     "invariant: {id} started before assignment"
                 );
-                assert!(
+                ensure!(
                     r.completed_at.is_none_or(|t| Some(t) >= r.started_at.or(Some(t))),
                     "invariant: {id} completed before it started"
                 );
                 if r.assignments > 0 {
-                    assert!(
+                    ensure!(
                         r.reschedules < r.assignments,
                         "invariant: {id} has {} reschedules out of {} assignments",
                         r.reschedules,
@@ -562,16 +592,17 @@ impl World {
                     );
                 }
                 if !self.config.aria.rescheduling {
-                    assert_eq!(
-                        r.reschedules, 0,
+                    ensure!(
+                        r.reschedules == 0,
                         "invariant: {id} was rescheduled with rescheduling disabled"
                     );
                 }
             }
         }
+        Ok(())
     }
 
-    fn handle(&mut self, now: SimTime, event: Event) {
+    pub(crate) fn handle(&mut self, now: SimTime, event: Event) {
         match event {
             Event::Deliver { to, msg } => self.deliver(now, to, msg),
             Event::Submit { job } => self.submit(now, job),
@@ -603,7 +634,7 @@ impl World {
 
     fn submit(&mut self, now: SimTime, job: JobId) {
         self.fill_alive_candidates();
-        let initiator = *self.rng.choose(&self.candidates);
+        let initiator = self.config.net.pick_initiator(&mut self.rng, &self.candidates, job);
         let spec = self.jobs.spec(job);
         self.metrics.job_submitted(&spec, now);
         self.jobs.slot_mut(job).initiator = Some(initiator);
@@ -640,7 +671,8 @@ impl World {
                 self.candidates.push(n);
             }
         }
-        self.rng.choose_multiple_into(
+        self.config.net.pick_targets(
+            &mut self.rng,
             &self.candidates,
             self.config.aria.request_fanout,
             &mut self.picked,
@@ -692,28 +724,40 @@ impl World {
 
     // --- message handling -----------------------------------------------------
 
+    /// Accounts for a message that will never be processed: a flood copy
+    /// releases its slot's in-flight share, a lost ASSIGN triggers the
+    /// initiator's failsafe (or loses the job outright), a lost ACCEPT is
+    /// simply a missed offer.
+    ///
+    /// Two callers share these books exactly: [`World::deliver`] when the
+    /// recipient crashed while the message was in flight, and the model
+    /// checker's `Drop` fault action (`crate::explore`).
+    pub(crate) fn lose_message(&mut self, now: SimTime, msg: Message) {
+        match msg {
+            Message::Request { flood, .. } | Message::Inform { flood, .. } => {
+                self.floods.get_mut(flood).in_flight -= 1;
+                self.cleanup_flood(flood);
+            }
+            Message::Assign { job, .. } => {
+                // The delegation evaporates; the initiator's failsafe
+                // will rediscover the job.
+                if self.config.failsafe {
+                    self.events.schedule(
+                        now + self.config.failsafe_detection,
+                        Event::RecoverJob { job },
+                    );
+                } else {
+                    self.lost.push(job);
+                }
+            }
+            Message::Accept { .. } => {}
+        }
+    }
+
     fn deliver(&mut self, now: SimTime, to: NodeId, msg: Message) {
         if !self.nodes[to.index()].alive {
             // The recipient crashed while the message was in flight.
-            match msg {
-                Message::Request { flood, .. } | Message::Inform { flood, .. } => {
-                    self.floods.get_mut(flood).in_flight -= 1;
-                    self.cleanup_flood(flood);
-                }
-                Message::Assign { job, .. } => {
-                    // The delegation evaporates with the crash; the
-                    // initiator's failsafe will rediscover the job.
-                    if self.config.failsafe {
-                        self.events.schedule(
-                            now + self.config.failsafe_detection,
-                            Event::RecoverJob { job },
-                        );
-                    } else {
-                        self.lost.push(job);
-                    }
-                }
-                Message::Accept { .. } => {}
-            }
+            self.lose_message(now, msg);
             return;
         }
         match msg {
@@ -848,6 +892,7 @@ impl World {
         let mut rng = self.rng.fork(6);
         let horizon_ms = self.config.horizon.as_millis().max(1);
         for i in 0..self.nodes.len() {
+            // det:allow(lossy-float-cast): floor() of a small non-negative mean
             let mut count = plan.mean_per_node.floor() as u64;
             if rng.chance(plan.mean_per_node.fract()) {
                 count += 1;
@@ -1037,7 +1082,7 @@ impl World {
     /// Whether a node both matches a job's requirements and bids in the
     /// job's cost family (batch offers are never mixed with deadline
     /// offers, §III-C).
-    fn node_can_bid(node: &NodeState, job: &JobSpec) -> bool {
+    pub(crate) fn node_can_bid(node: &NodeState, job: &JobSpec) -> bool {
         job.requirements.matches(&node.profile)
             && (node.queue.policy().cost_kind() == CostKind::Nal) == job.is_deadline()
     }
@@ -1083,13 +1128,14 @@ impl World {
                 self.candidates.push(n);
             }
         }
-        self.rng.choose_multiple_into(&self.candidates, fanout, &mut self.picked);
+        self.config.net.pick_targets(&mut self.rng, &self.candidates, fanout, &mut self.picked);
         for i in 0..self.picked.len() {
             let target = self.picked[i];
-            let latency = self
+            let link = self
                 .topology
                 .latency(from, target)
                 .expect("forwarding along an existing link");
+            let latency = self.config.net.flood_latency(link);
             self.floods.get_mut(flood).in_flight += 1;
             self.metrics.record_message(msg.traffic_class());
             self.events.schedule(now + latency, Event::Deliver { to: target, msg });
@@ -1099,10 +1145,11 @@ impl World {
     /// Sends a point-to-point message (ACCEPT/ASSIGN): counted once,
     /// timed as a few overlay hops.
     fn send_routed(&mut self, now: SimTime, to: NodeId, msg: Message) {
-        let mut latency = SimDuration::ZERO;
-        for _ in 0..self.config.aria.reply_hops {
-            latency += self.config.latency.sample(&mut self.rng);
-        }
+        let latency = self.config.net.reply_latency(
+            &mut self.rng,
+            &self.config.latency,
+            self.config.aria.reply_hops,
+        );
         self.metrics.record_message(msg.traffic_class());
         self.events.schedule(now + latency, Event::Deliver { to, msg });
     }

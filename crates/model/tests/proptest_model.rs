@@ -1,0 +1,65 @@
+//! Property-based fuzzing of the checker itself: random small-world
+//! configurations explored to a shallow depth must never trip a protocol
+//! property. This widens the fixed-shape unit tests to arbitrary
+//! node/job/seed/fault combinations within the model's intended range.
+
+use aria_model::{Explorer, ModelConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// No reachable state of any small world violates a protocol
+    /// property, with or without the partial-order reduction and with
+    /// small fault budgets.
+    #[test]
+    fn shallow_exploration_never_violates(
+        nodes in 3usize..6,
+        jobs in 1usize..3,
+        seed in 0u64..50,
+        drops in 0u32..2,
+        dups in 0u32..2,
+        por in any::<bool>(),
+    ) {
+        let config = ModelConfig {
+            nodes,
+            jobs,
+            seed,
+            drops,
+            dups,
+            por,
+            // Shallow bounds keep each case fast; `truncated` reports
+            // honestly whether the walk was partial.
+            max_depth: 40,
+            max_states: 4_000,
+            ..ModelConfig::default()
+        };
+        let explorer = Explorer::new(config);
+        let (stats, violation) = explorer.run();
+        if let Some(violation) = violation {
+            prop_assert!(false, "violation in a fuzzed world:\n{violation}");
+        }
+        prop_assert!(stats.states >= 1);
+        prop_assert!(stats.max_depth <= 40);
+    }
+
+    /// Truncation bounds are respected: the checker never visits more
+    /// states than allowed, so the CI gate has a hard runtime ceiling.
+    #[test]
+    fn state_budget_is_a_hard_ceiling(
+        nodes in 3usize..6,
+        jobs in 1usize..3,
+        seed in 0u64..50,
+    ) {
+        let config = ModelConfig {
+            nodes,
+            jobs,
+            seed,
+            max_states: 500,
+            ..ModelConfig::default()
+        };
+        let (stats, violation) = Explorer::new(config).run();
+        prop_assert!(violation.is_none());
+        prop_assert!(stats.states <= 500);
+    }
+}

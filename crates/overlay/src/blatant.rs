@@ -58,6 +58,7 @@ impl Blatant {
         Blatant {
             target_path_length,
             latency,
+            // det:allow(lossy-float-cast): ceil of a small positive config value
             walk_length: (target_path_length * 2.0).ceil() as u32,
             min_degree: 2,
         }
@@ -131,7 +132,7 @@ impl Blatant {
 
     /// One wave of construction ants (one ant per √n nodes, at least 4).
     fn construction_wave(&self, topo: &mut Topology, n: usize, rng: &mut SimRng) {
-        let ants = ((n as f64).sqrt() as usize).max(4);
+        let ants = ((n as f64).sqrt() as usize).max(4); // det:allow(lossy-float-cast): floor(sqrt(n)) is exact for any grid size
         for _ in 0..ants {
             self.construction_ant(topo, rng);
         }
@@ -155,6 +156,7 @@ impl Blatant {
         // The bound the ant enforces is stricter than the average target:
         // local distances above ~half the bound get a shortcut. This is
         // what drags the *average* below the target.
+        // det:allow(lossy-float-cast): ceil of a small positive config value
         let bound = (self.target_path_length / 2.0).ceil() as u32;
         if topo.bounded_distance(nest, here, bound).is_none() {
             topo.connect(nest, here, self.latency.sample(rng));
@@ -178,6 +180,7 @@ impl Blatant {
             return;
         }
         topo.disconnect(a, b);
+        // det:allow(lossy-float-cast): ceil of a small positive config value
         let bound = (self.target_path_length / 2.0).ceil() as u32;
         if topo.bounded_distance(a, b, bound).is_none() {
             // The link was load-bearing: restore it.

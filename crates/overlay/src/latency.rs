@@ -62,6 +62,7 @@ impl LatencyModel {
             return SimDuration::from_millis(self.min_ms);
         }
         let (lo, hi) = ((self.min_ms as f64).ln(), (self.max_ms as f64).ln());
+        // det:allow(lossy-float-cast): exp() of a value in [ln(min), ln(max)], rounded
         SimDuration::from_millis(rng.f64_range(lo, hi).exp().round() as u64)
     }
 }

@@ -82,6 +82,7 @@ fn main() -> ExitCode {
     let mut schedule = args.scenario.submission_schedule();
     if let Some((nodes, jobs)) = args.scale {
         let shrink = nodes as f64 / config.nodes as f64;
+        // det:allow(lossy-float-cast): shrink <= 1, so round(len * shrink) fits
         let keep = (config.joins.len() as f64 * shrink).round() as usize;
         config.nodes = nodes;
         config.joins.truncate(keep);

@@ -59,6 +59,7 @@ pub fn ascii_chart(series: &[(&str, &TimeSeries)], width: usize, height: usize) 
             // Sample the series at this column (nearest index).
             let i = col * columns.saturating_sub(1) / width.saturating_sub(1).max(1);
             let Some(&v) = s.values().get(i) else { continue };
+            // det:allow(lossy-float-cast): plot bucket index, clamped on the next line
             let row = ((v - lo) / (hi - lo) * (height - 1) as f64).round() as usize;
             let row = height - 1 - row.min(height - 1);
             grid[row][col] = mark;

@@ -223,6 +223,7 @@ impl Runner {
             let shrink = nodes as f64 / config.nodes as f64;
             config.nodes = nodes;
             // Scale the expanding-scenario joins with the grid.
+            // det:allow(lossy-float-cast): shrink <= 1, so round(len * shrink) fits
             let keep = (config.joins.len() as f64 * shrink).round() as usize;
             config.joins.truncate(keep);
             // Small overlays cannot sustain a 9-hop average path bound.

@@ -27,7 +27,7 @@ use crate::time::SimTime;
 /// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
 /// assert_eq!(order, ['a', 'b', 'c']);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: Vec<Entry<E>>,
     next_seq: u64,
@@ -39,7 +39,7 @@ pub struct EventQueue<E> {
 /// per level but needs half the levels, a known win for pop-heavy heaps.
 const ARITY: usize = 4;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Entry<E> {
     at: SimTime,
     seq: u64,
@@ -137,6 +137,66 @@ impl<E> EventQueue<E> {
     /// The timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.first().map(|e| e.at)
+    }
+
+    /// The next event (the one [`EventQueue::pop`] would return) without
+    /// removing it.
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.heap.first().map(|e| (e.at, &e.event))
+    }
+
+    // --- exploration hooks ------------------------------------------------
+    //
+    // The bounded model checker (crates/model) treats this queue as a
+    // *pending set* rather than a timeline: it removes events out of
+    // delivery order to enumerate alternative message interleavings. The
+    // two hooks below exist for that driver only; [`EventQueue::pop`]
+    // remains the sole delivery path of the event-queue driver.
+
+    /// Removes and returns the earliest (smallest `(time, seq)`) pending
+    /// event satisfying `pred`, **without** advancing the queue clock.
+    ///
+    /// `None` if no pending event matches. Used by the exploration driver
+    /// to force a specific delivery; pair with
+    /// [`EventQueue::advance_clock`] when the removed event should also
+    /// move time forward.
+    pub fn remove_where(&mut self, mut pred: impl FnMut(&E) -> bool) -> Option<(SimTime, E)> {
+        let mut best: Option<usize> = None;
+        for (i, entry) in self.heap.iter().enumerate() {
+            if pred(&entry.event) && best.is_none_or(|b| entry.key() < self.heap[b].key()) {
+                best = Some(i);
+            }
+        }
+        let pos = best?;
+        let entry = self.heap.swap_remove(pos);
+        if pos < self.heap.len() {
+            // The swapped-in tail element may violate the heap invariant
+            // in either direction.
+            self.sift_down(pos);
+            self.sift_up(pos);
+        }
+        Some((entry.at, entry.event))
+    }
+
+    /// Advances the queue clock to `to` without delivering anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is in the past: the exploration driver may reorder
+    /// deliveries but never time itself.
+    pub fn advance_clock(&mut self, to: SimTime) {
+        assert!(to >= self.now, "clock moved backwards: {to} < {}", self.now);
+        self.now = to;
+    }
+
+    /// Iterates over every pending event with its timestamp and sequence
+    /// number, in unspecified (heap) order.
+    ///
+    /// Like [`EventQueue::iter`] but exposing the FIFO tie-break key, so
+    /// state canonicalization can order same-instant events exactly as
+    /// [`EventQueue::pop`] would deliver them.
+    pub fn entries(&self) -> impl Iterator<Item = (SimTime, u64, &E)> + '_ {
+        self.heap.iter().map(|e| (e.at, e.seq, &e.event))
     }
 
     /// Iterates over every pending event in unspecified (heap) order.
@@ -312,6 +372,86 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_secs(7), 'x');
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(7)));
+        assert_eq!(q.peek(), Some((SimTime::from_secs(7), &'x')));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn remove_where_takes_the_earliest_match_and_keeps_the_heap() {
+        let mut q = EventQueue::new();
+        for i in 0..50u64 {
+            q.schedule(SimTime::from_secs((i * 13) % 20), i);
+        }
+        // Remove all odd events, earliest-first; they must come out in
+        // (time, seq) order among themselves.
+        let mut odd = Vec::new();
+        while let Some((at, e)) = q.remove_where(|e| e % 2 == 1) {
+            odd.push((at, e));
+        }
+        let mut sorted = odd.clone();
+        sorted.sort_by_key(|&(t, e)| (t, e));
+        assert_eq!(odd.len(), 25);
+        assert!(odd.iter().zip(&sorted).all(|(a, b)| a.0 == b.0), "matches out of order");
+        // The clock never moved and the survivors still pop in order.
+        assert_eq!(q.now(), SimTime::ZERO);
+        let rest: Vec<(SimTime, u64)> = std::iter::from_fn(|| q.pop()).collect();
+        let mut expected = rest.clone();
+        expected.sort_by_key(|&(t, e)| (t, e));
+        assert_eq!(rest.iter().map(|r| r.0).collect::<Vec<_>>(),
+                   expected.iter().map(|r| r.0).collect::<Vec<_>>());
+        assert!(rest.iter().all(|(_, e)| e % 2 == 0));
+    }
+
+    #[test]
+    fn remove_where_without_match_is_a_no_op() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 'a');
+        assert_eq!(q.remove_where(|&e| e == 'z'), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn advance_clock_moves_time_without_delivering() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(9), 'a');
+        q.advance_clock(SimTime::from_secs(5));
+        assert_eq!(q.now(), SimTime::from_secs(5));
+        assert_eq!(q.len(), 1);
+        // Scheduling relative to the advanced clock stays causal.
+        q.schedule(SimTime::from_secs(5), 'b');
+        assert_eq!(q.clamped_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock moved backwards")]
+    fn advance_clock_refuses_to_rewind() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_clock(SimTime::from_secs(5));
+        q.advance_clock(SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn entries_expose_fifo_sequence_numbers() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), 'a');
+        q.schedule(SimTime::from_secs(2), 'b');
+        let mut seen: Vec<(SimTime, u64, char)> =
+            q.entries().map(|(t, s, &e)| (t, s, e)).collect();
+        seen.sort();
+        assert_eq!(seen.len(), 2);
+        assert!(seen[0].1 < seen[1].1, "seq must break the tie");
+        assert_eq!((seen[0].2, seen[1].2), ('a', 'b'));
+    }
+
+    #[test]
+    fn cloned_queues_replay_identically() {
+        let mut q = EventQueue::new();
+        for i in 0..20u64 {
+            q.schedule(SimTime::from_secs((i * 7) % 10), i);
+        }
+        let mut fork = q.clone();
+        let a: Vec<(SimTime, u64)> = std::iter::from_fn(|| q.pop()).collect();
+        let b: Vec<(SimTime, u64)> = std::iter::from_fn(|| fork.pop()).collect();
+        assert_eq!(a, b);
     }
 }

@@ -158,7 +158,8 @@ pub fn percentile(values: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    // det:allow(lossy-float-cast): ceil of q*len <= len, clamped below anyway
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }

@@ -113,6 +113,7 @@ impl SimDuration {
     /// Builds a duration from fractional seconds, rounding to the nearest
     /// millisecond and clamping negatives to zero.
     pub fn from_secs_f64(secs: f64) -> Self {
+        // det:allow(lossy-float-cast): rounded and clamped non-negative by construction
         SimDuration((secs * 1000.0).round().max(0.0) as u64)
     }
 
@@ -149,6 +150,7 @@ impl SimDuration {
     /// Panics in debug builds if `factor` is negative or NaN.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
         debug_assert!(factor >= 0.0, "duration scale factor must be non-negative");
+        // det:allow(lossy-float-cast): factor asserted non-negative; round() then truncate
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 
@@ -160,6 +162,7 @@ impl SimDuration {
     /// Panics in debug builds if `factor` is not strictly positive.
     pub fn div_f64(self, factor: f64) -> SimDuration {
         debug_assert!(factor > 0.0, "duration divisor must be positive");
+        // det:allow(lossy-float-cast): factor asserted positive; round() then truncate
         SimDuration((self.0 as f64 / factor).round() as u64)
     }
 

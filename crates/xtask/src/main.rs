@@ -1,20 +1,28 @@
 //! Workspace automation (`cargo xtask <command>`).
 //!
-//! The only command today is `lint`: the determinism & protocol-hygiene
-//! gate described in DESIGN.md §10. It walks the sim-reachable sources
-//! with a dependency-free lexer (the build has no registry access, so no
-//! `syn`), applies the rules in [`rules`], checks every crate root for
-//! the mandatory hygiene attributes, and exits non-zero with `file:line`
-//! diagnostics on any violation.
+//! Two commands:
+//!
+//! * `lint` — the determinism & protocol-hygiene gate described in
+//!   DESIGN.md §10. It walks the sim-reachable sources with a
+//!   dependency-free lexer (the build has no registry access, so no
+//!   `syn`), applies the rules in [`rules`], checks every crate root for
+//!   the mandatory hygiene attributes, and exits non-zero with
+//!   `file:line` diagnostics on any violation.
+//! * `explore` — bounded exhaustive exploration of the ARiA message
+//!   state machine over every delivery ordering of a small world (see
+//!   [`explore`] and `crates/model`).
 //!
 //! ```text
-//! cargo xtask lint               # gate the workspace
-//! cargo xtask lint --self-check  # prove the gate still catches seeded violations
+//! cargo xtask lint                  # gate the workspace
+//! cargo xtask lint --self-check     # prove the gate still catches seeded violations
+//! cargo xtask explore --nodes 4     # enumerate a 4-node world's orderings
+//! cargo xtask explore --self-check  # prove the checker still catches violations
 //! ```
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+mod explore;
 mod rules;
 mod scan;
 
@@ -25,8 +33,9 @@ use std::process::ExitCode;
 /// Crates whose code runs inside (or builds the state of) the
 /// discrete-event simulation: the determinism rules apply to their
 /// sources, tests included.
-const SIM_REACHABLE_CRATES: &[&str] =
-    &["sim", "overlay", "grid", "workload", "metrics", "jsdl", "trace", "core", "scenarios"];
+const SIM_REACHABLE_CRATES: &[&str] = &[
+    "sim", "overlay", "grid", "workload", "metrics", "jsdl", "trace", "core", "model", "scenarios",
+];
 
 /// Top-level directories compiled into sim-reachable test/example
 /// targets (they live outside `crates/` but drive the same worlds).
@@ -48,8 +57,9 @@ fn main() -> ExitCode {
                 lint(&workspace_root())
             }
         }
+        Some("explore") => explore::run(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask lint [--self-check]");
+            eprintln!("usage: cargo xtask <lint [--self-check] | explore [flags]>");
             ExitCode::FAILURE
         }
     }
@@ -190,6 +200,10 @@ fn self_check_gate() -> ExitCode {
             "unordered-reduction",
             "// det:allow(hash-collections): seeded\nlet s: f64 = m.values().sum::<f64>(); let m: HashMap<u32, f64> = x;\n",
         ),
+        ("float-ord", "costs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n"),
+        ("float-ord", "nodes.sort_by_key(|n| n.load as f64 / n.capacity as f64);\n"),
+        ("lossy-float-cast", "let n = (x * 2.0).round() as u64;\n"),
+        ("lossy-float-cast", "let rank = (q * len as f64).ceil() as usize;\n"),
     ];
     let mut broken = 0;
     for (rule, fixture) in seeded {
@@ -203,6 +217,15 @@ fn self_check_gate() -> ExitCode {
     let allowed = "let m = HashMap::new(); // det:allow(hash-collections): fixture\n";
     if !rules::check_determinism("<self-check>", allowed).is_empty() {
         eprintln!("self-check: allow marker failed to suppress");
+        broken += 1;
+    }
+    // Integer-only casts and integer sort keys are fine: the float rules
+    // must not fire on them (precision guard against over-matching).
+    let clean = "let idx = (t.as_millis() / period.as_millis()) as usize;\n\
+                 keyed.sort_by_key(|&(key, id)| (key, id));\n\
+                 let wide = spec.min_memory_gb as u64 * GIB;\n";
+    if !rules::check_determinism("<self-check>", clean).is_empty() {
+        eprintln!("self-check: float rules over-match integer-only code");
         broken += 1;
     }
     // The attribute check must notice a bare crate root.

@@ -61,6 +61,12 @@ const RULES: &[Rule] = &[
         patterns: &["thread_rng", "ThreadRng", "from_entropy", "OsRng", "getrandom"],
         why: "ambient randomness: every draw must come from a SimRng forked from the run seed",
     },
+    Rule {
+        name: "float-ord",
+        patterns: &["partial_cmp"],
+        why: "partial float ordering: `partial_cmp(..).unwrap()` panics on NaN and silently \
+              reorders under refactoring; use `total_cmp` or an integer sort key",
+    },
 ];
 
 /// The allowlist marker: `det:allow(<rule>): <reason>` in a comment on
@@ -119,8 +125,102 @@ pub fn check_determinism(path: &str, source: &str) -> Vec<Diagnostic> {
                     .to_string(),
             });
         }
+        // Sorting on float keys: even NaN-free, a float sort key couples
+        // the order (and therefore every downstream tie-break) to rounding
+        // that changes under refactoring; require integer keys. Word-level
+        // `f64`/`f32` on a sorting line is the heuristic.
+        let sorts = ["sort_by", "sort_by_key", "sort_by_cached_key", "max_by_key", "min_by_key"]
+            .iter()
+            .any(|m| line.code.contains(&format!(".{m}(")));
+        let float_words = contains_word(&line.code, "f64") || contains_word(&line.code, "f32");
+        if sorts && float_words && !allowed(&lines, i, "float-ord") {
+            diagnostics.push(Diagnostic {
+                path: path.to_string(),
+                line: line.number,
+                rule: "float-ord",
+                message: "float sort key: ordering ties to rounding behaviour; map to an \
+                          integer key (e.g. millis) or use `total_cmp` deliberately"
+                    .to_string(),
+            });
+        }
+        // Lossy float→integer `as` casts: `as` saturates/truncates
+        // silently, so a drifting float produces a silently different
+        // integer — and therefore a different schedule — between runs of
+        // refactored code. Sites that are genuinely safe (floor of a
+        // bounded non-negative value, plot buckets) carry a reasoned
+        // `det:allow(lossy-float-cast)`.
+        if lossy_float_cast(&line.code) && !allowed(&lines, i, "lossy-float-cast") {
+            diagnostics.push(Diagnostic {
+                path: path.to_string(),
+                line: line.number,
+                rule: "lossy-float-cast",
+                message: "float expression cast to an integer with `as`: truncation and \
+                          saturation are silent; use `try_from` on a checked round, keep the \
+                          value integral, or justify with `det:allow(lossy-float-cast)`"
+                    .to_string(),
+            });
+        }
     }
     diagnostics
+}
+
+/// Integer types a float expression must not be `as`-cast into.
+const INT_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Float methods whose presence marks the casted expression as float-valued.
+const FLOAT_METHODS: &[&str] = &[
+    ".ceil(", ".floor(", ".round(", ".trunc(", ".sqrt(", ".exp(", ".ln(", ".powf(", ".powi(",
+];
+
+/// Detects a lossy float→integer cast on one code line.
+///
+/// For every `as <int-type>` the expression to the left of the `as` is
+/// recovered by a backward scan balanced over `()[]{}` (stopping at a
+/// top-level `;`, `,`, `=` or an unmatched opening bracket). The cast is
+/// flagged when that expression shows float evidence: an `f64`/`f32`
+/// token, a float literal (`2.0`), or a float-typed method call. Pure
+/// integer casts (`len() as u64`, `slack as u64`) never match.
+fn lossy_float_cast(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut search = 0;
+    while let Some(pos) = code[search..].find(" as ") {
+        let at = search + pos;
+        search = at + 4;
+        let rest = &code[at + 4..];
+        let target: String =
+            rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+        if !INT_TARGETS.contains(&target.as_str()) {
+            continue;
+        }
+        // Backward scan for the casted expression.
+        let mut depth = 0i32;
+        let mut start = at;
+        while start > 0 {
+            let c = bytes[start - 1] as char;
+            match c {
+                ')' | ']' | '}' => depth += 1,
+                '(' | '[' | '{' if depth == 0 => break,
+                '(' | '[' | '{' => depth -= 1,
+                ';' | ',' | '=' if depth == 0 => break,
+                _ => {}
+            }
+            start -= 1;
+        }
+        let expr = &code[start..at];
+        let literal = expr.as_bytes().windows(3).any(|w| {
+            w[1] == b'.' && w[0].is_ascii_digit() && w[2].is_ascii_digit()
+        });
+        if contains_word(expr, "f64")
+            || contains_word(expr, "f32")
+            || literal
+            || FLOAT_METHODS.iter().any(|m| expr.contains(m))
+        {
+            return true;
+        }
+    }
+    false
 }
 
 /// Checks that a crate root source carries the required hygiene
@@ -210,6 +310,47 @@ mod tests {
     #[test]
     fn ordered_float_reductions_are_fine() {
         assert!(rules_hit("let s: f64 = xs.iter().sum();").is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_and_float_sort_keys_are_flagged() {
+        assert_eq!(rules_hit("xs.sort_by(|a, b| a.partial_cmp(b).unwrap());"), ["float-ord"]);
+        assert_eq!(rules_hit("xs.sort_by_key(|x| x.cost as f64 / x.n as f64);"), ["float-ord"]);
+        assert!(rules_hit("let w = items.min_by_key(|i| i.weight);").is_empty());
+    }
+
+    #[test]
+    fn integer_sort_keys_and_total_cmp_are_fine() {
+        assert!(rules_hit("keyed.sort_by_key(|&(key, id)| (key, id));").is_empty());
+        assert!(rules_hit("xs.sort_by(|a, b| a.total_cmp(b));").is_empty());
+    }
+
+    #[test]
+    fn lossy_float_casts_are_flagged() {
+        assert_eq!(rules_hit("let n = (x * 2.0).round() as u64;"), ["lossy-float-cast"]);
+        assert_eq!(rules_hit("let r = (q * len as f64).ceil() as usize;"), ["lossy-float-cast"]);
+        assert_eq!(rules_hit("let b = rng.f64_range(lo, hi).exp() as u32;"), ["lossy-float-cast"]);
+    }
+
+    #[test]
+    fn integer_only_casts_are_fine() {
+        for clean in [
+            "let idx = (t.as_millis() / period.as_millis()) as usize;",
+            "let wide = spec.min_memory_gb as u64 * GIB;",
+            "self.bounded(len as u64) as usize",
+            "let d = self.0 as i64 - other.0 as i64;",
+            "let id = NodeId::new(rng.u64_range(0, topo.len() as u64) as u32);",
+            "let f = count as f64 / total as f64;",
+        ] {
+            assert_eq!(rules_hit(clean), [] as [&str; 0], "false positive on: {clean}");
+        }
+    }
+
+    #[test]
+    fn lossy_cast_allow_marker_suppresses() {
+        let src = "// det:allow(lossy-float-cast): floor of a bounded mean\n\
+                   let n = plan.mean.floor() as u64;\n";
+        assert!(rules_hit(src).is_empty());
     }
 
     #[test]

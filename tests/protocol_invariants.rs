@@ -256,3 +256,34 @@ fn regression_seed_914_stale_accept_must_not_move_jobs() {
         }
     }
 }
+
+/// Meta-test for the regression-promotion policy: the vendored proptest
+/// stand-in does not replay `.proptest-regressions` files, so every
+/// recorded `cc` entry must be promoted into a named unit test in this
+/// file (tagged `promoted to: <test_name>` on its line). This test fails
+/// when an entry is recorded but never promoted — or when the promoted
+/// test is later renamed without updating the record.
+#[test]
+fn regression_seeds_are_promoted_to_named_tests() {
+    // Registered from crates/scenarios via a `[[test]] path` entry, so the
+    // manifest dir is two levels below the repo root.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests");
+    let record = std::fs::read_to_string(format!("{dir}/protocol_invariants.proptest-regressions"))
+        .expect("regressions file next to this test");
+    let source = std::fs::read_to_string(format!("{dir}/protocol_invariants.rs"))
+        .expect("this test's own source");
+    let mut entries = 0;
+    for line in record.lines().filter(|l| l.trim_start().starts_with("cc ")) {
+        entries += 1;
+        let name = line
+            .split("promoted to:")
+            .nth(1)
+            .unwrap_or_else(|| panic!("unpromoted regression entry: {line}"))
+            .trim();
+        assert!(
+            source.contains(&format!("fn {name}()")),
+            "regression entry promises a test named `{name}` that does not exist"
+        );
+    }
+    assert!(entries >= 1, "the seed-914 provenance record must not be deleted");
+}
