@@ -111,7 +111,7 @@ pub struct PendingDelivery {
     pub inert: bool,
 }
 
-impl World {
+impl<P: aria_probe::Probe> World<P> {
     /// Every distinct pending delivery, in canonical `(recipient,
     /// message)` order, with multiset counts.
     ///
@@ -246,7 +246,7 @@ impl World {
                 self.events
                     .remove_where(|e| *e == Event::Deliver { to, msg })
                     .expect("Drop action must match a pending delivery");
-                self.lose_message(self.events.now(), msg);
+                self.lose_message(self.events.now(), to, msg);
             }
             Action::Duplicate { to, msg } => {
                 let flood = match msg {

@@ -46,6 +46,7 @@ use crate::msg::{FloodId, Message};
 use aria_grid::{Cost, CostKind, JobId, JobSpec, NodeProfile, Policy, SchedulerQueue};
 use aria_metrics::MetricsCollector;
 use aria_overlay::{builders, Blatant, NodeId, Topology};
+use aria_probe::{FloodKind, MsgKind, NullProbe, Probe, ProbeEvent};
 use aria_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use aria_workload::{JobGenerator, ProfileGenerator, SubmissionSchedule};
 
@@ -114,8 +115,20 @@ pub(crate) struct NodeState {
 /// buffers clone too (cheap, and their contents never carry state
 /// between events). Fields are `pub(crate)` for [`crate::explore`];
 /// the public API stays the accessor surface below.
+///
+/// ## Observability
+///
+/// The world is generic over a [`Probe`] sink and calls
+/// [`Probe::record`] at every protocol transition. The default
+/// `World<NullProbe>` monomorphizes those calls to nothing — the
+/// uninstrumented hot path, bit-for-bit and (per `bench_core`)
+/// cycle-for-cycle. Build an instrumented world with
+/// [`World::with_probe`] (e.g. an `aria_probe::RingRecorder`) and
+/// extract the recording with [`World::into_probe`] after the run.
+/// Probes observe only: they receive copies of protocol facts and
+/// sim-time stamps, and nothing flows back into the simulation.
 #[derive(Debug, Clone)]
-pub struct World {
+pub struct World<P: Probe = NullProbe> {
     pub(crate) config: WorldConfig,
     pub(crate) topology: Topology,
     pub(crate) blatant: Blatant,
@@ -144,12 +157,26 @@ pub struct World {
     pub(crate) candidates: Vec<NodeId>,
     /// Scratch buffer for sampled fan-out targets.
     pub(crate) picked: Vec<NodeId>,
+    /// The observability sink (see the struct docs); [`NullProbe`] by
+    /// default, which compiles every `record` call away.
+    pub(crate) probe: P,
 }
 
 impl World {
-    /// Builds a world: overlay, node profiles, scheduler policies and the
-    /// periodic event scaffolding. Deterministic in `(config, seed)`.
+    /// Builds an uninstrumented world (`NullProbe`): overlay, node
+    /// profiles, scheduler policies and the periodic event scaffolding.
+    /// Deterministic in `(config, seed)`.
     pub fn new(config: WorldConfig, seed: u64) -> Self {
+        World::with_probe(config, seed, NullProbe)
+    }
+}
+
+impl<P: Probe> World<P> {
+    /// Builds a world with an explicit [`Probe`] sink. Identical to
+    /// [`World::new`] in every simulated respect — the probe observes,
+    /// it never participates — so a probed run stays bit-for-bit
+    /// deterministic in `(config, seed)`.
+    pub fn with_probe(config: WorldConfig, seed: u64, probe: P) -> Self {
         let mut rng = SimRng::seed_from(seed);
         let mut overlay_rng = rng.fork(1);
         let mut profile_rng = rng.fork(2);
@@ -200,6 +227,7 @@ impl World {
             processed: 0,
             candidates: Vec::new(),
             picked: Vec::new(),
+            probe,
         };
         world.metrics = MetricsCollector::new(world.config.sample_period);
         if let Some(plan) = world.config.reservations {
@@ -281,6 +309,17 @@ impl World {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.events.now()
+    }
+
+    /// The attached observability sink.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consumes the world and returns the probe — the way to extract a
+    /// recorded trace after a run.
+    pub fn into_probe(self) -> P {
+        self.probe
     }
 
     /// How many events were scheduled in the past and clamped to the
@@ -613,6 +652,7 @@ impl World {
                 if self.nodes[initiator.index()].alive {
                     self.start_request_round(now, initiator, job, round);
                 } else {
+                    self.probe.record(now, ProbeEvent::JobLost { job });
                     self.lost.push(job);
                 }
             }
@@ -638,6 +678,7 @@ impl World {
         let spec = self.jobs.spec(job);
         self.metrics.job_submitted(&spec, now);
         self.jobs.slot_mut(job).initiator = Some(initiator);
+        self.probe.record(now, ProbeEvent::JobSubmitted { job, initiator });
         self.start_request_round(now, initiator, job, 0);
     }
 
@@ -682,6 +723,16 @@ impl World {
             self.floods.get_mut(flood).in_flight += 1;
             self.send_routed(now, seed, request);
         }
+        self.probe.record(
+            now,
+            ProbeEvent::RequestRound {
+                job,
+                initiator,
+                round,
+                flood: flood.0,
+                seeds: self.picked.len() as u32,
+            },
+        );
         // An unseedable flood (no other node alive) is over before it
         // starts; recycle its slot.
         self.cleanup_flood(flood);
@@ -701,6 +752,10 @@ impl World {
         match pending.best {
             Some((_cost, winner)) => {
                 self.metrics.job_assigned(job, now, false);
+                self.probe.record(
+                    now,
+                    ProbeEvent::Assigned { job, by: initiator, to: winner, reschedule: false },
+                );
                 if winner == initiator {
                     // Local execution: no ASSIGN message is needed.
                     self.enqueue_job(now, initiator, job);
@@ -711,11 +766,13 @@ impl World {
             None => {
                 let round = pending.round + 1;
                 if round < self.config.aria.max_request_rounds {
+                    self.probe.record(now, ProbeEvent::RetryScheduled { job, initiator, round });
                     self.events.schedule(
                         now + self.config.aria.request_retry,
                         Event::RetryRequest { initiator, job, round },
                     );
                 } else {
+                    self.probe.record(now, ProbeEvent::JobAbandoned { job, initiator });
                     self.abandoned.push(job);
                 }
             }
@@ -732,7 +789,14 @@ impl World {
     /// Two callers share these books exactly: [`World::deliver`] when the
     /// recipient crashed while the message was in flight, and the model
     /// checker's `Drop` fault action (`crate::explore`).
-    pub(crate) fn lose_message(&mut self, now: SimTime, msg: Message) {
+    pub(crate) fn lose_message(&mut self, now: SimTime, to: NodeId, msg: Message) {
+        let kind = match msg {
+            Message::Request { .. } => MsgKind::Request,
+            Message::Accept { .. } => MsgKind::Accept,
+            Message::Inform { .. } => MsgKind::Inform,
+            Message::Assign { .. } => MsgKind::Assign,
+        };
+        self.probe.record(now, ProbeEvent::MessageDropped { kind, job: msg.job_id(), to });
         match msg {
             Message::Request { flood, .. } | Message::Inform { flood, .. } => {
                 self.floods.get_mut(flood).in_flight -= 1;
@@ -747,6 +811,7 @@ impl World {
                         Event::RecoverJob { job },
                     );
                 } else {
+                    self.probe.record(now, ProbeEvent::JobLost { job });
                     self.lost.push(job);
                 }
             }
@@ -757,12 +822,24 @@ impl World {
     fn deliver(&mut self, now: SimTime, to: NodeId, msg: Message) {
         if !self.nodes[to.index()].alive {
             // The recipient crashed while the message was in flight.
-            self.lose_message(now, msg);
+            self.lose_message(now, to, msg);
             return;
         }
         match msg {
             Message::Request { initiator, job, hops_left, flood } => {
-                if !self.flood_arrival(flood, to) {
+                let fresh = self.flood_arrival(flood, to);
+                self.probe.record(
+                    now,
+                    ProbeEvent::FloodHop {
+                        kind: FloodKind::Request,
+                        job,
+                        flood: flood.0,
+                        node: to,
+                        hops_left,
+                        duplicate: !fresh,
+                    },
+                );
+                if !fresh {
                     return;
                 }
                 let spec = self.jobs.spec(job);
@@ -770,6 +847,16 @@ impl World {
                 let bids = Self::node_can_bid(node, &spec);
                 if bids {
                     let cost = node.queue.cost_of_candidate(&spec, now, &node.profile);
+                    self.probe.record(
+                        now,
+                        ProbeEvent::BidSent {
+                            kind: FloodKind::Request,
+                            job,
+                            from: to,
+                            to: initiator,
+                            cost_ms: cost.as_millis(),
+                        },
+                    );
                     self.send_routed(now, initiator, Message::Accept { from: to, job, cost });
                 }
                 if (!bids || self.config.aria.forward_on_match) && hops_left > 1 {
@@ -780,7 +867,19 @@ impl World {
                 self.flood_departure(flood);
             }
             Message::Inform { assignee, job, cost, hops_left, flood } => {
-                if !self.flood_arrival(flood, to) {
+                let fresh = self.flood_arrival(flood, to);
+                self.probe.record(
+                    now,
+                    ProbeEvent::FloodHop {
+                        kind: FloodKind::Inform,
+                        job,
+                        flood: flood.0,
+                        node: to,
+                        hops_left,
+                        duplicate: !fresh,
+                    },
+                );
+                if !fresh {
                     return;
                 }
                 let spec = self.jobs.spec(job);
@@ -790,6 +889,16 @@ impl World {
                     let my_cost = node.queue.cost_of_candidate(&spec, now, &node.profile);
                     let threshold = self.config.aria.reschedule_threshold.as_millis() as i64;
                     if my_cost.improvement_over(cost) > threshold {
+                        self.probe.record(
+                            now,
+                            ProbeEvent::BidSent {
+                                kind: FloodKind::Inform,
+                                job,
+                                from: to,
+                                to: assignee,
+                                cost_ms: my_cost.as_millis(),
+                            },
+                        );
                         self.send_routed(
                             now,
                             assignee,
@@ -822,6 +931,16 @@ impl World {
                     if better {
                         pending.best = Some((cost, from));
                     }
+                    self.probe.record(
+                        now,
+                        ProbeEvent::OfferReceived {
+                            job,
+                            initiator: to,
+                            from,
+                            cost_ms: cost.as_millis(),
+                            best: better,
+                        },
+                    );
                     return;
                 }
             }
@@ -844,6 +963,7 @@ impl World {
         node.queue.remove_waiting(job).expect("cost_of_waiting implies waiting");
         let initiator = self.jobs.slot(job).initiator.unwrap_or(to);
         self.metrics.job_assigned(job, now, true);
+        self.probe.record(now, ProbeEvent::Assigned { job, by: to, to: from, reschedule: true });
         self.send_routed(now, from, Message::Assign { initiator, job });
     }
 
@@ -855,6 +975,8 @@ impl World {
         let state = &mut self.nodes[node.index()];
         let profile = state.profile;
         state.queue.enqueue(spec, now, &profile);
+        let depth = state.queue.waiting_len() as u32;
+        self.probe.record(now, ProbeEvent::Enqueued { job, node, depth });
         self.try_start(now, node);
     }
 
@@ -872,6 +994,7 @@ impl World {
         let ertp = running.expected_end.saturating_since(running.started_at);
         let art = self.config.art.actual_running_time(spec.ert, ertp, &mut self.rng);
         self.metrics.job_started(spec.id, node.raw(), now);
+        self.probe.record(now, ProbeEvent::Started { job: spec.id, node });
         self.events.schedule(now + art, Event::ExecutionComplete { node, job: spec.id });
     }
 
@@ -883,6 +1006,7 @@ impl World {
         let finished = state.queue.complete_running().expect("completion event for running job");
         debug_assert_eq!(finished.spec.id, job, "completion event job mismatch");
         self.metrics.job_completed(job, now);
+        self.probe.record(now, ProbeEvent::Completed { job, node });
         self.try_start(now, node);
     }
 
@@ -924,6 +1048,10 @@ impl World {
                 .cost_of_waiting(id, now)
                 .expect("inform candidate has a cost");
             let flood = self.floods.alloc(node, self.nodes.len());
+            self.probe.record(
+                now,
+                ProbeEvent::InformRound { job: id, node, flood: flood.0, cost_ms: cost.as_millis() },
+            );
             let inform = Message::Inform {
                 assignee: node,
                 job: id,
@@ -953,6 +1081,7 @@ impl World {
             alive: true,
         });
         debug_assert_eq!(self.nodes.len(), self.topology.len());
+        self.probe.record(now, ProbeEvent::NodeJoined { node: id });
         if self.config.aria.rescheduling && now <= self.config.horizon {
             self.schedule_first_inform_tick(id);
         }
@@ -1023,9 +1152,16 @@ impl World {
         if let Some(running) = state.queue.complete_running() {
             lost_jobs.push(running.spec.id);
         }
+        self.probe.record(
+            now,
+            ProbeEvent::NodeCrashed { node: victim, lost_jobs: lost_jobs.len() as u32 },
+        );
         // Jobs the victim was *initiating* lose their offer collection;
         // nobody else tracks them, so they are gone for good.
         let pending = self.jobs.drop_pending_of(victim);
+        for &job in &pending {
+            self.probe.record(now, ProbeEvent::JobLost { job });
+        }
         self.lost.extend(pending);
 
         for job in lost_jobs {
@@ -1035,6 +1171,7 @@ impl World {
                     Event::RecoverJob { job },
                 );
             } else {
+                self.probe.record(now, ProbeEvent::JobLost { job });
                 self.lost.push(job);
             }
         }
@@ -1058,9 +1195,13 @@ impl World {
         match self.jobs.slot(job).initiator {
             Some(initiator) if self.nodes[initiator.index()].alive => {
                 self.recovered += 1;
+                self.probe.record(now, ProbeEvent::RecoveryStarted { job, initiator });
                 self.start_request_round(now, initiator, job, 0);
             }
-            _ => self.lost.push(job),
+            _ => {
+                self.probe.record(now, ProbeEvent::JobLost { job });
+                self.lost.push(job);
+            }
         }
     }
 
@@ -1071,6 +1212,15 @@ impl World {
         let queued =
             self.nodes.iter().filter(|n| n.alive).map(|n| n.queue.waiting_len()).sum();
         self.metrics.sample_gauges(idle, queued);
+        self.probe.record(
+            now,
+            ProbeEvent::Gauge {
+                idle: idle as u32,
+                queued: queued as u32,
+                pending_events: self.events.len() as u32,
+                peak_events: self.events.peak_len() as u32,
+            },
+        );
         let next = now + self.config.sample_period;
         if next <= self.config.horizon {
             self.events.schedule(next, Event::Sample);

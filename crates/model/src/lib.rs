@@ -40,10 +40,15 @@
 use aria_core::{Action, Message, NetModel, OverlayKind, PolicyMix, World, WorldConfig};
 use aria_grid::{Cost, JobId, JobRequirements, JobSpec, Policy};
 use aria_overlay::NodeId;
+use aria_probe::{NullProbe, Probe, RingRecorder, Trace, TraceMeta};
 use aria_sim::{SimDuration, SimTime};
 use aria_workload::ArtModel;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+
+// Re-exported so `cargo xtask explore` can hold counterexample traces
+// without depending on `aria-core` directly.
+pub use aria_core::Action as ModelAction;
 
 /// Which property set the checker enforces per state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -115,6 +120,13 @@ impl ModelConfig {
     /// profile can run (other nodes bid only if their drawn profile
     /// matches — mixed bidder/forwarder roles are part of the model).
     pub fn build_world(&self) -> World {
+        self.build_world_with(NullProbe)
+    }
+
+    /// Like [`ModelConfig::build_world`], but with an explicit [`Probe`]
+    /// attached — used by [`Explorer::replay_traced`] to export
+    /// counterexample traces in the `aria-probe` schema.
+    pub fn build_world_with<P: Probe>(&self, probe: P) -> World<P> {
         assert!(self.nodes >= 3, "crash-refusal and ring overlays need ≥ 3 nodes");
         let mut config = WorldConfig::small_test(self.nodes);
         config.net = NetModel::Lockstep;
@@ -127,7 +139,7 @@ impl ModelConfig {
         // INFORM ticks) finite and small.
         config.horizon = SimTime::from_mins(30);
         config.sample_period = SimDuration::from_mins(30);
-        let mut world = World::new(config, self.seed);
+        let mut world = World::with_probe(config, self.seed, probe);
         let anchor = *world.profiles().first().expect("non-empty world");
         for i in 0..self.jobs {
             let req = JobRequirements::new(anchor.arch, anchor.os, 1, 1);
@@ -190,10 +202,12 @@ impl fmt::Display for Violation {
 /// compared every state.
 type Shadow = BTreeMap<JobId, Option<(Cost, NodeId)>>;
 
-/// One frontier entry of the search.
+/// One frontier entry of the search. Generic over the attached probe so
+/// [`Explorer::replay_traced`] can re-drive the same checking machinery
+/// with a recorder where the BFS uses the free [`NullProbe`].
 #[derive(Debug, Clone)]
-struct SearchNode {
-    world: World,
+struct SearchNode<P: Probe = NullProbe> {
+    world: World<P>,
     shadow: Shadow,
     drops_left: u32,
     dups_left: u32,
@@ -273,7 +287,28 @@ impl Explorer {
     /// property violation hit along the way (a genuine counterexample
     /// must reproduce its violation here).
     pub fn replay(&self, trace: &[Action]) -> (World, Option<String>) {
-        let mut node = self.root();
+        self.replay_on(NullProbe, trace)
+    }
+
+    /// Like [`Explorer::replay`], but records every protocol transition
+    /// of the replay through an `aria-probe` [`RingRecorder`] and returns
+    /// the recording — so a checker counterexample exports in the same
+    /// JSONL schema (and through the same tooling: timelines, summaries,
+    /// `probe diff`) as a scenario run. The second element is the first
+    /// property violation hit along the way, as in [`Explorer::replay`].
+    pub fn replay_traced(&self, trace: &[Action]) -> (Trace, Option<String>) {
+        let (world, violation) = self.replay_on(RingRecorder::default(), trace);
+        let meta = TraceMeta {
+            scenario: format!("model-{}n-{}j", self.config.nodes, self.config.jobs),
+            seed: self.config.seed,
+            nodes: self.config.nodes as u64,
+            jobs: self.config.jobs as u64,
+        };
+        (world.into_probe().into_trace(meta), violation)
+    }
+
+    fn replay_on<P: Probe + Clone>(&self, probe: P, trace: &[Action]) -> (World<P>, Option<String>) {
+        let mut node = self.root_with(probe);
         if let Some(message) = self.check_state(&node, true) {
             return (node.world, Some(message));
         }
@@ -292,7 +327,11 @@ impl Explorer {
     }
 
     fn root(&self) -> SearchNode {
-        let world = self.config.build_world();
+        self.root_with(NullProbe)
+    }
+
+    fn root_with<P: Probe>(&self, probe: P) -> SearchNode<P> {
+        let world = self.config.build_world_with(probe);
         SearchNode {
             world,
             shadow: Shadow::new(),
@@ -319,7 +358,7 @@ impl Explorer {
 
     /// The actions explored from a state, after the partial-order
     /// reduction.
-    fn enabled(&self, node: &SearchNode) -> Vec<Action> {
+    fn enabled<P: Probe>(&self, node: &SearchNode<P>) -> Vec<Action> {
         let deliveries = node.world.pending_deliveries();
         // POR: explore a provably-inert delivery alone. Disabled while
         // duplication budget remains — a duplicate of the inert message
@@ -355,7 +394,7 @@ impl Explorer {
     /// * a window that opened during the step seeds its shadow from the
     ///   initiator's own bid (nothing else can have been delivered yet);
     /// * a window that closed drops its shadow.
-    fn apply(&self, node: &SearchNode, action: Action) -> SearchNode {
+    fn apply<P: Probe + Clone>(&self, node: &SearchNode<P>, action: Action) -> SearchNode<P> {
         let mut next = node.clone();
         next.trace.push(action);
         match action {
@@ -388,7 +427,7 @@ impl Explorer {
 
     /// Per-state safety checks. `root` skips the pre-submission phase
     /// where no job is registered yet.
-    fn check_state(&self, node: &SearchNode, root: bool) -> Option<String> {
+    fn check_state<P: Probe>(&self, node: &SearchNode<P>, root: bool) -> Option<String> {
         if let Err(message) = node.world.try_check_invariants() {
             return Some(message);
         }
@@ -464,7 +503,7 @@ impl Explorer {
     /// Terminal-state checks: job conservation across every explored
     /// ordering — completed, abandoned or (with drops) explicitly lost,
     /// never silently vanished, never duplicated.
-    fn check_terminal(&self, node: &SearchNode) -> Option<String> {
+    fn check_terminal<P: Probe>(&self, node: &SearchNode<P>) -> Option<String> {
         let world = &node.world;
         let completed = world.completion_count();
         let abandoned = world.abandoned_jobs().len() as u64;
@@ -572,6 +611,25 @@ mod tests {
             shorter.is_none() || shorter.as_deref() != Some(violation.message.as_str()),
             "the trace has a redundant tail"
         );
+    }
+
+    #[test]
+    fn counterexample_traces_export_in_the_probe_schema() {
+        let config = ModelConfig {
+            property: Property::SelfCheckNoExecution,
+            ..ModelConfig::default()
+        };
+        let explorer = Explorer::new(config);
+        let (_, violation) = explorer.run();
+        let violation = violation.expect("the deliberately-false property must be caught");
+        let (trace, replayed) = explorer.replay_traced(&violation.trace);
+        assert_eq!(replayed.as_deref(), Some(violation.message.as_str()));
+        assert!(!trace.entries.is_empty(), "a counterexample replay must record transitions");
+        assert!(trace.meta.scenario.starts_with("model-"));
+        // Round-trips through the versioned JSONL schema.
+        let jsonl = aria_probe::schema::to_jsonl(&trace);
+        let back = aria_probe::schema::from_jsonl(&jsonl).expect("schema-valid export");
+        assert_eq!(back, trace);
     }
 
     #[test]

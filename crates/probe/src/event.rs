@@ -1,0 +1,425 @@
+//! The structured event catalog: one [`ProbeEvent`] per protocol
+//! transition the simulator can take.
+//!
+//! Events are small `Copy` values — recording one through the [`Probe`]
+//! trait never allocates, so the hot path stays allocation-free whether
+//! the probe is a ring recorder or the no-op [`NullProbe`].
+//!
+//! [`Probe`]: crate::Probe
+//! [`NullProbe`]: crate::NullProbe
+
+use aria_grid::JobId;
+use aria_overlay::NodeId;
+use std::fmt;
+
+/// Which flood a hop or bid belongs to: a REQUEST discovery round or an
+/// INFORM rescheduling advertisement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FloodKind {
+    /// REQUEST flood (§III-B job advertisement).
+    Request,
+    /// INFORM flood (§III-D rescheduling advertisement).
+    Inform,
+}
+
+impl FloodKind {
+    /// Stable schema name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            FloodKind::Request => "request",
+            FloodKind::Inform => "inform",
+        }
+    }
+}
+
+/// The wire message class of a dropped message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MsgKind {
+    /// REQUEST flood hop.
+    Request,
+    /// ACCEPT cost offer.
+    Accept,
+    /// INFORM flood hop.
+    Inform,
+    /// ASSIGN delegation.
+    Assign,
+}
+
+impl MsgKind {
+    /// Stable schema name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            MsgKind::Request => "request",
+            MsgKind::Accept => "accept",
+            MsgKind::Inform => "inform",
+            MsgKind::Assign => "assign",
+        }
+    }
+}
+
+/// One observable protocol transition.
+///
+/// Every variant is stamped with the sim-time at which the transition
+/// happened when it is recorded (see [`TraceEntry`]); the payloads here
+/// carry only the *what*, never wall-clock data.
+///
+/// Costs are carried as raw scheduler-cost milliseconds
+/// ([`aria_grid::Cost::as_millis`]) so the event stays `Copy` and the
+/// JSONL schema stays integer-only.
+///
+/// [`TraceEntry`]: crate::TraceEntry
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeEvent {
+    /// A job entered the grid at its initiator (§III-B).
+    JobSubmitted {
+        /// The submitted job.
+        job: JobId,
+        /// The node it was submitted to.
+        initiator: NodeId,
+    },
+    /// The initiator opened a REQUEST round: a fresh flood was seeded and
+    /// the offer window scheduled.
+    RequestRound {
+        /// The advertised job.
+        job: JobId,
+        /// The flooding initiator.
+        initiator: NodeId,
+        /// Retry round (0 = first attempt).
+        round: u32,
+        /// Flood id seeded for this round.
+        flood: u32,
+        /// Number of neighbors the flood was seeded to.
+        seeds: u32,
+    },
+    /// A flood hop arrived at a node (REQUEST or INFORM).
+    FloodHop {
+        /// REQUEST or INFORM flood.
+        kind: FloodKind,
+        /// The advertised job.
+        job: JobId,
+        /// Flood id the hop belongs to.
+        flood: u32,
+        /// The node the hop arrived at.
+        node: NodeId,
+        /// Remaining hop budget on arrival.
+        hops_left: u32,
+        /// Whether duplicate suppression discarded the hop.
+        duplicate: bool,
+    },
+    /// A node answered a flood with an ACCEPT cost offer (§III-C).
+    BidSent {
+        /// Flood kind the bid answers.
+        kind: FloodKind,
+        /// The job being bid on.
+        job: JobId,
+        /// The offering node.
+        from: NodeId,
+        /// The initiator (REQUEST) or current assignee (INFORM).
+        to: NodeId,
+        /// Offered cost in scheduler-cost milliseconds.
+        cost_ms: i64,
+    },
+    /// An ACCEPT landed inside an open offer window at the initiator.
+    OfferReceived {
+        /// The job the offer concerns.
+        job: JobId,
+        /// The collecting initiator.
+        initiator: NodeId,
+        /// The offering node.
+        from: NodeId,
+        /// Offered cost in scheduler-cost milliseconds.
+        cost_ms: i64,
+        /// Whether this offer became the current best.
+        best: bool,
+    },
+    /// A job was delegated with ASSIGN — initial assignment when
+    /// `reschedule` is false, an INFORM-triggered steal otherwise.
+    Assigned {
+        /// The delegated job.
+        job: JobId,
+        /// The assigning node (initiator, or current holder on a steal).
+        by: NodeId,
+        /// The new executor.
+        to: NodeId,
+        /// Whether this is a §III-D reschedule rather than the initial
+        /// assignment.
+        reschedule: bool,
+    },
+    /// An offer window closed empty; a fresh REQUEST round was scheduled.
+    RetryScheduled {
+        /// The unplaced job.
+        job: JobId,
+        /// The retrying initiator.
+        initiator: NodeId,
+        /// The upcoming round number.
+        round: u32,
+    },
+    /// The initiator gave up on a job after exhausting its retry budget.
+    JobAbandoned {
+        /// The abandoned job.
+        job: JobId,
+        /// The abandoning initiator.
+        initiator: NodeId,
+    },
+    /// A job entered a node's scheduler queue.
+    Enqueued {
+        /// The queued job.
+        job: JobId,
+        /// The executing node.
+        node: NodeId,
+        /// Waiting-queue depth after the insert.
+        depth: u32,
+    },
+    /// A job left the waiting queue and began executing.
+    Started {
+        /// The started job.
+        job: JobId,
+        /// The executing node.
+        node: NodeId,
+    },
+    /// A job finished executing.
+    Completed {
+        /// The finished job.
+        job: JobId,
+        /// The executing node.
+        node: NodeId,
+    },
+    /// A waiting job's assignee flooded an INFORM advertisement (§III-D).
+    InformRound {
+        /// The advertised job.
+        job: JobId,
+        /// The current assignee.
+        node: NodeId,
+        /// Flood id seeded for the advertisement.
+        flood: u32,
+        /// The assignee's advertised cost in scheduler-cost milliseconds.
+        cost_ms: i64,
+    },
+    /// A node joined the overlay mid-run (§V-D churn).
+    NodeJoined {
+        /// The new node.
+        node: NodeId,
+    },
+    /// A node crashed, dropping its queue and in-flight work.
+    NodeCrashed {
+        /// The crashed node.
+        node: NodeId,
+        /// Jobs resident on the node at crash time.
+        lost_jobs: u32,
+    },
+    /// The failsafe initiator noticed a dead assignee and re-advertised
+    /// the job (§III-E).
+    RecoveryStarted {
+        /// The recovered job.
+        job: JobId,
+        /// The initiator running the failsafe.
+        initiator: NodeId,
+    },
+    /// A job was lost for good (dead initiator, failsafe disabled, …).
+    JobLost {
+        /// The lost job.
+        job: JobId,
+    },
+    /// A message addressed to a crashed node was dropped by the
+    /// transport.
+    MessageDropped {
+        /// Wire class of the dropped message.
+        kind: MsgKind,
+        /// The job the message concerned.
+        job: JobId,
+        /// The unreachable destination.
+        to: NodeId,
+    },
+    /// Periodic world sample: node occupancy and event-queue pressure.
+    Gauge {
+        /// Nodes with an empty scheduler.
+        idle: u32,
+        /// Jobs waiting in scheduler queues, grid-wide.
+        queued: u32,
+        /// Pending entries in the simulation event queue.
+        pending_events: u32,
+        /// High-water mark of the event queue so far.
+        peak_events: u32,
+    },
+}
+
+impl ProbeEvent {
+    /// Stable schema name of this event kind (the JSONL `"kind"` field).
+    pub const fn kind(&self) -> &'static str {
+        match self {
+            ProbeEvent::JobSubmitted { .. } => "job-submitted",
+            ProbeEvent::RequestRound { .. } => "request-round",
+            ProbeEvent::FloodHop { .. } => "flood-hop",
+            ProbeEvent::BidSent { .. } => "bid-sent",
+            ProbeEvent::OfferReceived { .. } => "offer-received",
+            ProbeEvent::Assigned { .. } => "assigned",
+            ProbeEvent::RetryScheduled { .. } => "retry-scheduled",
+            ProbeEvent::JobAbandoned { .. } => "job-abandoned",
+            ProbeEvent::Enqueued { .. } => "enqueued",
+            ProbeEvent::Started { .. } => "started",
+            ProbeEvent::Completed { .. } => "completed",
+            ProbeEvent::InformRound { .. } => "inform-round",
+            ProbeEvent::NodeJoined { .. } => "node-joined",
+            ProbeEvent::NodeCrashed { .. } => "node-crashed",
+            ProbeEvent::RecoveryStarted { .. } => "recovery-started",
+            ProbeEvent::JobLost { .. } => "job-lost",
+            ProbeEvent::MessageDropped { .. } => "message-dropped",
+            ProbeEvent::Gauge { .. } => "gauge",
+        }
+    }
+
+    /// The job this event concerns, if any.
+    pub const fn job(&self) -> Option<JobId> {
+        match *self {
+            ProbeEvent::JobSubmitted { job, .. }
+            | ProbeEvent::RequestRound { job, .. }
+            | ProbeEvent::FloodHop { job, .. }
+            | ProbeEvent::BidSent { job, .. }
+            | ProbeEvent::OfferReceived { job, .. }
+            | ProbeEvent::Assigned { job, .. }
+            | ProbeEvent::RetryScheduled { job, .. }
+            | ProbeEvent::JobAbandoned { job, .. }
+            | ProbeEvent::Enqueued { job, .. }
+            | ProbeEvent::Started { job, .. }
+            | ProbeEvent::Completed { job, .. }
+            | ProbeEvent::InformRound { job, .. }
+            | ProbeEvent::RecoveryStarted { job, .. }
+            | ProbeEvent::JobLost { job }
+            | ProbeEvent::MessageDropped { job, .. } => Some(job),
+            ProbeEvent::NodeJoined { .. }
+            | ProbeEvent::NodeCrashed { .. }
+            | ProbeEvent::Gauge { .. } => None,
+        }
+    }
+
+    /// The node where this event happened, if the event is localized.
+    ///
+    /// For message-shaped events this is the *acting* node (the flood
+    /// arrival node, the bidder, the collecting initiator, the assigner);
+    /// for [`ProbeEvent::MessageDropped`] it is the unreachable
+    /// destination.
+    pub const fn node(&self) -> Option<NodeId> {
+        match *self {
+            ProbeEvent::JobSubmitted { initiator, .. }
+            | ProbeEvent::RequestRound { initiator, .. }
+            | ProbeEvent::OfferReceived { initiator, .. }
+            | ProbeEvent::RetryScheduled { initiator, .. }
+            | ProbeEvent::JobAbandoned { initiator, .. }
+            | ProbeEvent::RecoveryStarted { initiator, .. } => Some(initiator),
+            ProbeEvent::FloodHop { node, .. }
+            | ProbeEvent::Enqueued { node, .. }
+            | ProbeEvent::Started { node, .. }
+            | ProbeEvent::Completed { node, .. }
+            | ProbeEvent::InformRound { node, .. }
+            | ProbeEvent::NodeJoined { node }
+            | ProbeEvent::NodeCrashed { node, .. } => Some(node),
+            ProbeEvent::BidSent { from, .. } => Some(from),
+            ProbeEvent::Assigned { by, .. } => Some(by),
+            ProbeEvent::MessageDropped { to, .. } => Some(to),
+            ProbeEvent::JobLost { .. } | ProbeEvent::Gauge { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for ProbeEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ProbeEvent::JobSubmitted { job, initiator } => {
+                write!(f, "{job} submitted at {initiator}")
+            }
+            ProbeEvent::RequestRound { job, initiator, round, flood, seeds } => {
+                write!(f, "{job} REQUEST round {round} from {initiator} (flood-{flood}, {seeds} seeds)")
+            }
+            ProbeEvent::FloodHop { kind, job, flood, node, hops_left, duplicate } => {
+                let dup = if duplicate { ", duplicate" } else { "" };
+                write!(
+                    f,
+                    "{} hop for {job} at {node} (flood-{flood}, ttl={hops_left}{dup})",
+                    kind.name().to_ascii_uppercase()
+                )
+            }
+            ProbeEvent::BidSent { kind, job, from, to, cost_ms } => {
+                write!(
+                    f,
+                    "{from} bids {cost_ms}ms on {job} to {to} ({} reply)",
+                    kind.name().to_ascii_uppercase()
+                )
+            }
+            ProbeEvent::OfferReceived { job, initiator, from, cost_ms, best } => {
+                let mark = if best { ", new best" } else { "" };
+                write!(f, "{initiator} collects offer {cost_ms}ms for {job} from {from}{mark}")
+            }
+            ProbeEvent::Assigned { job, by, to, reschedule } => {
+                if reschedule {
+                    write!(f, "{job} rescheduled: {by} yields to {to}")
+                } else {
+                    write!(f, "{job} assigned by {by} to {to}")
+                }
+            }
+            ProbeEvent::RetryScheduled { job, initiator, round } => {
+                write!(f, "{job} offer window empty at {initiator}; retry round {round}")
+            }
+            ProbeEvent::JobAbandoned { job, initiator } => {
+                write!(f, "{job} abandoned by {initiator}")
+            }
+            ProbeEvent::Enqueued { job, node, depth } => {
+                write!(f, "{job} enqueued at {node} (depth {depth})")
+            }
+            ProbeEvent::Started { job, node } => write!(f, "{job} started on {node}"),
+            ProbeEvent::Completed { job, node } => write!(f, "{job} completed on {node}"),
+            ProbeEvent::InformRound { job, node, flood, cost_ms } => {
+                write!(f, "{node} INFORMs for {job} at {cost_ms}ms (flood-{flood})")
+            }
+            ProbeEvent::NodeJoined { node } => write!(f, "{node} joined"),
+            ProbeEvent::NodeCrashed { node, lost_jobs } => {
+                write!(f, "{node} crashed ({lost_jobs} resident jobs)")
+            }
+            ProbeEvent::RecoveryStarted { job, initiator } => {
+                write!(f, "{initiator} recovers {job} (failsafe)")
+            }
+            ProbeEvent::JobLost { job } => write!(f, "{job} lost"),
+            ProbeEvent::MessageDropped { kind, job, to } => {
+                write!(f, "{} for {job} dropped (dest {to} down)", kind.name().to_ascii_uppercase())
+            }
+            ProbeEvent::Gauge { idle, queued, pending_events, peak_events } => {
+                write!(
+                    f,
+                    "gauge: {idle} idle nodes, {queued} queued jobs, {pending_events} pending events (peak {peak_events})"
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_stay_copy_small() {
+        // The hot path records by value; keep the payload a few words.
+        assert!(std::mem::size_of::<ProbeEvent>() <= 40, "{}", std::mem::size_of::<ProbeEvent>());
+    }
+
+    #[test]
+    fn job_and_node_accessors() {
+        let e = ProbeEvent::JobSubmitted { job: JobId::new(7), initiator: NodeId::new(3) };
+        assert_eq!(e.job(), Some(JobId::new(7)));
+        assert_eq!(e.node(), Some(NodeId::new(3)));
+        let g = ProbeEvent::Gauge { idle: 1, queued: 2, pending_events: 3, peak_events: 4 };
+        assert_eq!(g.job(), None);
+        assert_eq!(g.node(), None);
+        assert_eq!(g.kind(), "gauge");
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = ProbeEvent::Assigned {
+            job: JobId::new(1),
+            by: NodeId::new(0),
+            to: NodeId::new(9),
+            reschedule: true,
+        };
+        assert_eq!(e.to_string(), "job-000001 rescheduled: n0 yields to n9");
+    }
+}

@@ -1,0 +1,179 @@
+//! Bounded in-memory trace recording: [`RingRecorder`] and the
+//! exported [`Trace`] it produces.
+
+use crate::event::ProbeEvent;
+use crate::Probe;
+use aria_sim::SimTime;
+use std::collections::VecDeque;
+
+/// One recorded transition: a sequence number, a sim-time stamp, and the
+/// structured event.
+///
+/// `seq` is assigned at record time and never reused, so even after the
+/// ring evicts old entries the remaining sequence numbers reveal how many
+/// events preceded the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Zero-based position in the full event stream.
+    pub seq: u64,
+    /// Simulated time of the transition (never wall-clock).
+    pub at: SimTime,
+    /// The transition itself.
+    pub event: ProbeEvent,
+}
+
+/// Run identification carried in a trace header.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Scenario name (or `"model"` for checker counterexamples).
+    pub scenario: String,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Number of overlay nodes.
+    pub nodes: u64,
+    /// Number of submitted jobs.
+    pub jobs: u64,
+}
+
+/// A finished recording: header metadata plus the retained entries in
+/// record order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Run identification, embedded in the JSONL header line.
+    pub meta: TraceMeta,
+    /// Entries evicted by the bounded ring before export.
+    pub dropped: u64,
+    /// Retained entries, oldest first, `seq` strictly increasing.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Total number of events recorded over the run, including evicted
+    /// ones.
+    pub fn recorded(&self) -> u64 {
+        self.dropped + self.entries.len() as u64
+    }
+}
+
+/// A bounded ring-buffer [`Probe`]: keeps the most recent `capacity`
+/// events, counting (not storing) whatever the window evicts.
+///
+/// Recording is allocation-free after the ring reaches capacity; the
+/// buffer is pre-allocated up front for traces that are expected to fit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingRecorder {
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    entries: VecDeque<TraceEntry>,
+}
+
+impl RingRecorder {
+    /// Default ring capacity: roomy enough to hold a scaled scenario's
+    /// full event stream (~1M entries).
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Creates a recorder retaining at most `capacity` entries
+    /// (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingRecorder {
+            capacity,
+            next_seq: 0,
+            dropped: 0,
+            // Cap the eager reservation so tiny test rings stay tiny and
+            // a fat-fingered capacity does not OOM up front.
+            entries: VecDeque::with_capacity(capacity.min(Self::DEFAULT_CAPACITY)),
+        }
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Finishes the recording, attaching run metadata.
+    pub fn into_trace(self, meta: TraceMeta) -> Trace {
+        Trace { meta, dropped: self.dropped, entries: self.entries.into_iter().collect() }
+    }
+}
+
+impl Default for RingRecorder {
+    fn default() -> Self {
+        RingRecorder::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl Probe for RingRecorder {
+    #[inline]
+    fn record(&mut self, now: SimTime, event: ProbeEvent) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry { seq: self.next_seq, at: now, event });
+        self.next_seq += 1;
+    }
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aria_grid::JobId;
+
+    fn lost(n: u64) -> ProbeEvent {
+        ProbeEvent::JobLost { job: JobId::new(n) }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut r = RingRecorder::with_capacity(2);
+        for i in 0..5 {
+            r.record(SimTime::from_millis(i), lost(i));
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 3);
+        let trace = r.into_trace(TraceMeta::default());
+        assert_eq!(trace.recorded(), 5);
+        assert_eq!(trace.entries[0].seq, 3);
+        assert_eq!(trace.entries[1].seq, 4);
+        assert_eq!(trace.entries[1].at, SimTime::from_millis(4));
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let mut r = RingRecorder::with_capacity(0);
+        r.record(SimTime::ZERO, lost(0));
+        r.record(SimTime::ZERO, lost(1));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn seq_is_strictly_increasing() {
+        let mut r = RingRecorder::default();
+        for i in 0..100 {
+            r.record(SimTime::from_millis(i / 10), lost(i));
+        }
+        let t = r.into_trace(TraceMeta::default());
+        assert_eq!(t.dropped, 0);
+        for (i, e) in t.entries.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+}

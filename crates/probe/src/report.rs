@@ -1,0 +1,101 @@
+//! Structured progress reporting for long-running tooling.
+//!
+//! The paper-reproduction driver and the `cargo xtask probe` CLI both
+//! report progress through [`ProgressSink`] instead of scattering ad-hoc
+//! `eprintln!` calls, so every tool renders progress the same way and
+//! tests can capture it with [`MemorySink`].
+
+use std::fmt;
+
+/// One structured progress event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Progress {
+    /// The tool or phase reporting (e.g. `"reproduce"`, `"probe"`).
+    pub stage: String,
+    /// Human-readable description of the step.
+    pub detail: String,
+    /// Optional `(done, total)` step counter.
+    pub step: Option<(usize, usize)>,
+}
+
+impl Progress {
+    /// Creates a progress event without a step counter.
+    pub fn new(stage: impl Into<String>, detail: impl Into<String>) -> Self {
+        Progress { stage: stage.into(), detail: detail.into(), step: None }
+    }
+
+    /// Attaches a `(done, total)` step counter.
+    pub fn with_step(mut self, done: usize, total: usize) -> Self {
+        self.step = Some((done, total));
+        self
+    }
+}
+
+impl fmt::Display for Progress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.step {
+            Some((done, total)) => {
+                write!(f, "{}: [{}/{}] {}", self.stage, done, total, self.detail)
+            }
+            None => write!(f, "{}: {}", self.stage, self.detail),
+        }
+    }
+}
+
+/// Receives progress events from a running tool.
+pub trait ProgressSink {
+    /// Handles one progress event.
+    fn report(&mut self, progress: &Progress);
+}
+
+/// Renders each event as one line on standard error.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StderrSink;
+
+impl ProgressSink for StderrSink {
+    fn report(&mut self, progress: &Progress) {
+        eprintln!("{progress}");
+    }
+}
+
+/// Discards all events.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl ProgressSink for NullSink {
+    fn report(&mut self, _progress: &Progress) {}
+}
+
+/// Captures events in memory, for tests.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    /// Every event reported so far, in order.
+    pub events: Vec<Progress>,
+}
+
+impl ProgressSink for MemorySink {
+    fn report(&mut self, progress: &Progress) {
+        self.events.push(progress.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_step_counter() {
+        let p = Progress::new("reproduce", "fig4 over 3 seeds").with_step(2, 12);
+        assert_eq!(p.to_string(), "reproduce: [2/12] fig4 over 3 seeds");
+        assert_eq!(Progress::new("probe", "writing trace").to_string(), "probe: writing trace");
+    }
+
+    #[test]
+    fn memory_sink_captures_in_order() {
+        let mut sink = MemorySink::default();
+        sink.report(&Progress::new("a", "one"));
+        sink.report(&Progress::new("a", "two"));
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.events[1].detail, "two");
+    }
+}

@@ -17,6 +17,7 @@
 //! cargo run --release -p aria-scenarios --bin reproduce -- fig1 --scale 100 200
 //! ```
 
+use aria_probe::{Progress, ProgressSink, StderrSink};
 use aria_scenarios::{Campaign, Runner};
 use std::process::ExitCode;
 
@@ -88,15 +89,22 @@ fn main() -> ExitCode {
         runner = runner.workers(workers);
     }
     let seeds: Vec<u64> = (1..=args.seeds).collect();
-    eprintln!(
-        "reproducing {} over {} seed(s){}",
-        args.ids.join(", "),
-        args.seeds,
-        match args.scale {
-            Some((n, j)) => format!(" at reduced scale ({n} nodes, {j} jobs)"),
-            None => " at paper scale (500 nodes, 1000 jobs)".into(),
-        }
-    );
+    // Progress goes through the aria-probe reporting layer, so every
+    // long-running tool in the workspace renders it identically (and
+    // tests can capture it with a MemorySink).
+    let mut progress = StderrSink;
+    progress.report(&Progress::new(
+        "reproduce",
+        format!(
+            "{} over {} seed(s){}",
+            args.ids.join(", "),
+            args.seeds,
+            match args.scale {
+                Some((n, j)) => format!(" at reduced scale ({n} nodes, {j} jobs)"),
+                None => " at paper scale (500 nodes, 1000 jobs)".into(),
+            }
+        ),
+    ));
 
     if let Some(dir) = &args.out {
         if let Err(error) = std::fs::create_dir_all(dir) {
@@ -104,8 +112,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let total = args.ids.len();
     let mut campaign = Campaign::new(runner, seeds);
-    for id in &args.ids {
+    for (done, id) in args.ids.iter().enumerate() {
+        progress.report(&Progress::new("reproduce", format!("rendering {id}")).with_step(done + 1, total));
         match campaign.render(id) {
             Some(output) => {
                 println!("{output}");
@@ -115,6 +125,7 @@ fn main() -> ExitCode {
                         eprintln!("cannot write {}: {error}", path.display());
                         return ExitCode::FAILURE;
                     }
+                    progress.report(&Progress::new("reproduce", format!("wrote {}", path.display())));
                 }
             }
             None => {
@@ -125,5 +136,6 @@ fn main() -> ExitCode {
             }
         }
     }
+    progress.report(&Progress::new("reproduce", format!("done ({total} artifact(s))")));
     ExitCode::SUCCESS
 }

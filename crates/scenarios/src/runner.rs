@@ -3,6 +3,7 @@
 use crate::catalog::Scenario;
 use aria_core::World;
 use aria_metrics::{DeadlineStats, TrafficClass, TrafficLedger};
+use aria_probe::{NullProbe, Probe, RingRecorder, Trace, TraceMeta};
 use aria_sim::{Summary, TimeSeries};
 use aria_workload::JobGenerator;
 use std::collections::BTreeMap;
@@ -38,6 +39,24 @@ pub struct RunStats {
     pub traffic: TrafficLedger,
     /// Total dynamic reschedules across jobs.
     pub reschedules: f64,
+    /// Wall-clock duration of the simulation loop, seconds. Pure
+    /// observability — measured around the run from outside and never
+    /// fed back into the simulation (which keeps runs deterministic).
+    pub wall_time_secs: f64,
+    /// Events drained by the run's event loop.
+    pub events: u64,
+}
+
+impl RunStats {
+    /// Drained events per wall-clock second (0 when the run was too
+    /// fast for the clock to register).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_time_secs > 0.0 {
+            self.events as f64 / self.wall_time_secs
+        } else {
+            0.0
+        }
+    }
 }
 
 /// All runs of one scenario plus cross-seed aggregation helpers.
@@ -85,28 +104,32 @@ impl ScenarioResult {
         merged
     }
 
+    /// Averages one per-run statistic across seeds (0 with no runs).
+    ///
+    /// All the `avg_*` accessors below are this one fold with a
+    /// different projection.
+    pub fn avg_over_runs(&self, stat: impl Fn(&RunStats) -> f64) -> f64 {
+        self.runs.iter().map(stat).sum::<f64>() / self.runs.len().max(1) as f64
+    }
+
     /// Average per-run missed deadlines.
     pub fn avg_missed_deadlines(&self) -> f64 {
-        self.runs.iter().map(|r| r.deadline.missed() as f64).sum::<f64>()
-            / self.runs.len().max(1) as f64
+        self.avg_over_runs(|r| r.deadline.missed() as f64)
     }
 
     /// Average lateness (slack of met deadlines) across runs, seconds.
     pub fn avg_lateness_secs(&self) -> f64 {
-        self.runs.iter().map(|r| r.deadline.avg_lateness().as_secs_f64()).sum::<f64>()
-            / self.runs.len().max(1) as f64
+        self.avg_over_runs(|r| r.deadline.avg_lateness().as_secs_f64())
     }
 
     /// Average missed time across runs, seconds.
     pub fn avg_missed_time_secs(&self) -> f64 {
-        self.runs.iter().map(|r| r.deadline.avg_missed_time().as_secs_f64()).sum::<f64>()
-            / self.runs.len().max(1) as f64
+        self.avg_over_runs(|r| r.deadline.avg_missed_time().as_secs_f64())
     }
 
     /// Average per-run message count for a traffic class.
     pub fn avg_messages(&self, class: TrafficClass) -> f64 {
-        self.runs.iter().map(|r| r.traffic.messages(class) as f64).sum::<f64>()
-            / self.runs.len().max(1) as f64
+        self.avg_over_runs(|r| r.traffic.messages(class) as f64)
     }
 
     /// Average per-run bytes for a traffic class.
@@ -121,23 +144,32 @@ impl ScenarioResult {
 
     /// Average per-run dynamic reschedule count.
     pub fn avg_reschedules(&self) -> f64 {
-        self.runs.iter().map(|r| r.reschedules).sum::<f64>() / self.runs.len().max(1) as f64
+        self.avg_over_runs(|r| r.reschedules)
     }
 
     /// Median completion time averaged across runs, seconds.
     pub fn avg_completion_p50(&self) -> f64 {
-        self.runs.iter().map(|r| r.completion_p50).sum::<f64>() / self.runs.len().max(1) as f64
+        self.avg_over_runs(|r| r.completion_p50)
     }
 
     /// 95th-percentile completion time averaged across runs, seconds.
     pub fn avg_completion_p95(&self) -> f64 {
-        self.runs.iter().map(|r| r.completion_p95).sum::<f64>() / self.runs.len().max(1) as f64
+        self.avg_over_runs(|r| r.completion_p95)
     }
 
     /// Average completed jobs per run.
     pub fn avg_completed(&self) -> f64 {
-        self.runs.iter().map(|r| r.completed as f64).sum::<f64>()
-            / self.runs.len().max(1) as f64
+        self.avg_over_runs(|r| r.completed as f64)
+    }
+
+    /// Average per-run wall-clock duration, seconds.
+    pub fn avg_wall_time_secs(&self) -> f64 {
+        self.avg_over_runs(|r| r.wall_time_secs)
+    }
+
+    /// Average per-run event throughput, events per wall-clock second.
+    pub fn avg_events_per_sec(&self) -> f64 {
+        self.avg_over_runs(RunStats::events_per_sec)
     }
 }
 
@@ -218,6 +250,40 @@ impl Runner {
     }
 
     fn run_once_with(&self, scenario: Scenario, seed: u64, checked: bool) -> RunStats {
+        self.run_once_instrumented(scenario, seed, checked, NullProbe).0
+    }
+
+    /// Runs one `(scenario, seed)` with a structured-event trace
+    /// attached: every protocol transition is recorded into a bounded
+    /// [`RingRecorder`] and returned as an exportable [`Trace`]
+    /// alongside the usual statistics.
+    ///
+    /// The probe observes without participating, so the statistics are
+    /// bit-for-bit identical to [`Runner::run_once`] for the same
+    /// `(scenario, seed)` — `tests/probe_golden.rs` pins that.
+    pub fn run_once_traced(&self, scenario: Scenario, seed: u64) -> (RunStats, Trace) {
+        let (stats, world) =
+            self.run_once_instrumented(scenario, seed, false, RingRecorder::default());
+        let meta = TraceMeta {
+            scenario: scenario.to_string(),
+            seed,
+            nodes: world.config().nodes as u64,
+            jobs: self.schedule_for(scenario).count() as u64,
+        };
+        (stats, world.into_probe().into_trace(meta))
+    }
+
+    /// The shared instrumented core: builds the world with an explicit
+    /// [`Probe`], executes the scenario's workload, and returns the
+    /// statistics together with the finished world (so callers can
+    /// extract the probe or inspect final state).
+    pub fn run_once_instrumented<P: Probe>(
+        &self,
+        scenario: Scenario,
+        seed: u64,
+        checked: bool,
+        probe: P,
+    ) -> (RunStats, World<P>) {
         let mut config = scenario.world_config();
         if let Some(nodes) = self.nodes {
             let shrink = nodes as f64 / config.nodes as f64;
@@ -231,14 +297,19 @@ impl Runner {
         }
         let schedule = self.schedule_for(scenario);
 
-        let mut world = World::new(config, seed);
+        let mut world = World::with_probe(config, seed, probe);
         let mut generator = JobGenerator::new(scenario.job_config());
         world.submit_schedule(&schedule, &mut generator);
+        // Timing the loop from outside is pure observability: the
+        // reading is reported, never fed back into the simulation.
+        #[allow(clippy::disallowed_types, clippy::disallowed_methods)]
+        let start = std::time::Instant::now(); // det:allow(wall-clock): observability-only timing around the run
         if checked {
             world.run_checked();
         } else {
             world.run();
         }
+        let wall_time_secs = start.elapsed().as_secs_f64();
 
         let metrics = world.metrics();
         let completions: Vec<f64> = metrics
@@ -247,7 +318,7 @@ impl Runner {
             .filter_map(|r| r.completion_time())
             .map(|d| d.as_secs_f64())
             .collect();
-        RunStats {
+        let stats = RunStats {
             seed,
             completed: metrics.completed_count(),
             abandoned: world.abandoned_jobs().len(),
@@ -261,7 +332,10 @@ impl Runner {
             deadline: metrics.deadline_stats(),
             traffic: *metrics.traffic(),
             reschedules: metrics.reschedule_summary().sum(),
-        }
+            wall_time_secs,
+            events: world.processed_events(),
+        };
+        (stats, world)
     }
 
     /// Runs one scenario over the given seeds.

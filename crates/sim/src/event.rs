@@ -33,6 +33,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: SimTime,
     clamped: u64,
+    peak: usize,
 }
 
 /// Heap arity. Four children per node: sift-down compares one extra pair
@@ -56,7 +57,7 @@ impl<E> Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue positioned at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        EventQueue { heap: Vec::new(), next_seq: 0, now: SimTime::ZERO, clamped: 0 }
+        EventQueue { heap: Vec::new(), next_seq: 0, now: SimTime::ZERO, clamped: 0, peak: 0 }
     }
 
     /// Restores the heap invariant upward from `pos` after a push.
@@ -109,6 +110,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at: at.max(self.now), seq, event });
+        self.peak = self.peak.max(self.heap.len());
         self.sift_up(self.heap.len() - 1);
     }
 
@@ -223,6 +225,13 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// High-water mark of [`EventQueue::len`] over the queue's lifetime —
+    /// the deepest the pending set has ever been. Purely observational
+    /// (feeds the probe layer's gauge events); never affects delivery.
+    pub fn peak_len(&self) -> usize {
+        self.peak
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -287,6 +296,22 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peak_len_is_a_high_water_mark() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        q.schedule(SimTime::ZERO, 1);
+        q.schedule(SimTime::ZERO, 2);
+        q.schedule(SimTime::ZERO, 3);
+        assert_eq!(q.peak_len(), 3);
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peak_len(), 3, "draining must not lower the mark");
+        q.schedule(SimTime::from_secs(1), 4);
+        assert_eq!(q.peak_len(), 3, "returning below the mark keeps it");
     }
 
     #[test]

@@ -19,6 +19,19 @@ use std::process::ExitCode;
 pub fn run(args: &[String]) -> ExitCode {
     let mut config = ModelConfig::default();
     let mut self_check = false;
+    // `--trace-out PATH` takes a string value, so it is stripped before
+    // the numeric-flag loop below.
+    let mut args = args.to_vec();
+    let mut trace_out: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--trace-out") {
+        if pos + 1 >= args.len() {
+            eprintln!("xtask explore: --trace-out needs a path");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        trace_out = Some(args.remove(pos + 1));
+        args.remove(pos);
+    }
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         let mut number = |what: &str| -> Result<u64, String> {
@@ -56,17 +69,32 @@ pub fn run(args: &[String]) -> ExitCode {
         }
     }
     if self_check {
-        return self_check_explorer(config);
+        return self_check_explorer(config, trace_out.as_deref());
     }
-    explore(config)
+    explore(config, trace_out.as_deref())
 }
 
 const USAGE: &str = "usage: cargo xtask explore [--nodes N] [--jobs N] [--seed N] [--depth N] \
                      [--states N] [--drops N] [--dups N] [--no-por] [--rescheduling] \
-                     [--self-check]";
+                     [--self-check] [--trace-out PATH]";
+
+/// Replays a counterexample with a probe attached and writes the
+/// recording as `aria-probe` JSONL — the same schema scenario runs
+/// export, so `cargo xtask probe timeline/summary/diff` work on checker
+/// counterexamples too.
+fn export_trace(explorer: &Explorer, trace: &[aria_model::ModelAction], path: &str) {
+    let (trace, _) = explorer.replay_traced(trace);
+    match std::fs::write(path, aria_probe::schema::to_jsonl(&trace)) {
+        Ok(()) => eprintln!(
+            "xtask explore: counterexample trace written to {path} ({} probe event(s))",
+            trace.entries.len()
+        ),
+        Err(error) => eprintln!("xtask explore: cannot write {path}: {error}"),
+    }
+}
 
 /// Runs one exploration and reports the counters (or the counterexample).
-fn explore(config: ModelConfig) -> ExitCode {
+fn explore(config: ModelConfig, trace_out: Option<&str>) -> ExitCode {
     println!(
         "xtask explore: {} nodes, {} job(s), seed {}, depth ≤ {}, states ≤ {}, \
          drops {}, dups {}, por {}",
@@ -103,6 +131,9 @@ fn explore(config: ModelConfig) -> ExitCode {
         }
         Some(violation) => {
             eprintln!("{violation}");
+            if let Some(path) = trace_out {
+                export_trace(&explorer, &violation.trace, path);
+            }
             ExitCode::FAILURE
         }
     }
@@ -111,7 +142,7 @@ fn explore(config: ModelConfig) -> ExitCode {
 /// Proves the checker still finds violations: explores under the
 /// deliberately-false "no job ever starts" property, demands a
 /// counterexample, and replays its trace to the same violation.
-fn self_check_explorer(config: ModelConfig) -> ExitCode {
+fn self_check_explorer(config: ModelConfig, trace_out: Option<&str>) -> ExitCode {
     let config = ModelConfig { property: Property::SelfCheckNoExecution, ..config };
     let explorer = Explorer::new(config);
     let (_, violation) = explorer.run();
@@ -134,5 +165,8 @@ fn self_check_explorer(config: ModelConfig) -> ExitCode {
         violation.trace.len()
     );
     print!("{violation}");
+    if let Some(path) = trace_out {
+        export_trace(&explorer, &violation.trace, path);
+    }
     ExitCode::SUCCESS
 }

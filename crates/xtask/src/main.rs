@@ -1,9 +1,9 @@
 //! Workspace automation (`cargo xtask <command>`).
 //!
-//! Two commands:
+//! Three commands:
 //!
 //! * `lint` — the determinism & protocol-hygiene gate described in
-//!   DESIGN.md §10. It walks the sim-reachable sources with a
+//!   DESIGN.md §8. It walks the sim-reachable sources with a
 //!   dependency-free lexer (the build has no registry access, so no
 //!   `syn`), applies the rules in [`rules`], checks every crate root for
 //!   the mandatory hygiene attributes, and exits non-zero with
@@ -11,18 +11,25 @@
 //! * `explore` — bounded exhaustive exploration of the ARiA message
 //!   state machine over every delivery ordering of a small world (see
 //!   [`explore`] and `crates/model`).
+//! * `probe` — run scenarios with the observability probe attached and
+//!   inspect or diff the exported traces (see [`probe`] and
+//!   `crates/probe`).
 //!
 //! ```text
 //! cargo xtask lint                  # gate the workspace
 //! cargo xtask lint --self-check     # prove the gate still catches seeded violations
+//! cargo xtask lint --list           # print the files the gate scans
 //! cargo xtask explore --nodes 4     # enumerate a 4-node world's orderings
 //! cargo xtask explore --self-check  # prove the checker still catches violations
+//! cargo xtask probe run --scenario iMixed --scale 40 80 --out t.jsonl
+//! cargo xtask probe diff a.jsonl b.jsonl
 //! ```
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
 mod explore;
+mod probe;
 mod rules;
 mod scan;
 
@@ -34,7 +41,8 @@ use std::process::ExitCode;
 /// discrete-event simulation: the determinism rules apply to their
 /// sources, tests included.
 const SIM_REACHABLE_CRATES: &[&str] = &[
-    "sim", "overlay", "grid", "workload", "metrics", "jsdl", "trace", "core", "model", "scenarios",
+    "sim", "overlay", "grid", "workload", "metrics", "jsdl", "trace", "core", "probe", "model",
+    "scenarios",
 ];
 
 /// Top-level directories compiled into sim-reachable test/example
@@ -53,13 +61,18 @@ fn main() -> ExitCode {
         Some("lint") => {
             if args.iter().any(|a| a == "--self-check") {
                 self_check_gate()
+            } else if args.iter().any(|a| a == "--list") {
+                list_scanned(&workspace_root())
             } else {
                 lint(&workspace_root())
             }
         }
         Some("explore") => explore::run(&args[1..]),
+        Some("probe") => probe::run(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask <lint [--self-check] | explore [flags]>");
+            eprintln!(
+                "usage: cargo xtask <lint [--self-check|--list] | explore [flags] | probe <cmd>>"
+            );
             ExitCode::FAILURE
         }
     }
@@ -128,6 +141,16 @@ fn lint(root: &Path) -> ExitCode {
         eprintln!("xtask lint: {} violation(s)", diagnostics.len());
         ExitCode::FAILURE
     }
+}
+
+/// `lint --list` — prints every sim-reachable file the determinism
+/// rules scan, one per line (workspace-relative). CI greps this to
+/// assert that new crates (e.g. `crates/probe`) are inside the gate.
+fn list_scanned(root: &Path) -> ExitCode {
+    for source in sim_reachable_sources(root) {
+        println!("{}", source.strip_prefix(root).unwrap_or(&source).display());
+    }
+    ExitCode::SUCCESS
 }
 
 fn report(diagnostics: &[Diagnostic]) {

@@ -1,0 +1,91 @@
+//! Golden observability test: the probe records faithfully and changes
+//! nothing.
+//!
+//! Three contracts are pinned here:
+//!
+//! 1. A probed run exports schema-valid JSONL whose per-job lifecycles
+//!    are complete (submission through a terminal state) and whose
+//!    round-trip through the schema is lossless.
+//! 2. Attaching a recording probe is observationally free: every metric
+//!    of a probed run is bit-for-bit identical to the unprobed run of
+//!    the same `(config, seed)`.
+//! 3. Trace diffing is a determinism oracle: same-seed traces never
+//!    diverge, and different-seed traces report a located first
+//!    divergent event rather than a bare mismatch.
+
+use aria_probe::{first_divergence, lifecycles, schema, summarize, Trace};
+use aria_scenarios::{Runner, RunStats, Scenario};
+
+fn traced(seed: u64) -> (RunStats, Trace) {
+    Runner::scaled(30, 15).run_once_traced(Scenario::IMixed, seed)
+}
+
+#[test]
+fn probed_run_exports_schema_valid_jsonl_with_complete_lifecycles() {
+    let (stats, trace) = traced(11);
+    schema::validate(&trace).expect("exported trace must satisfy its own schema");
+    let text = schema::to_jsonl(&trace);
+    let parsed = schema::from_jsonl(&text).expect("exported JSONL must parse back");
+    assert_eq!(parsed, trace, "JSONL round-trip must be lossless");
+    assert_eq!(trace.meta.scenario, "iMixed");
+    assert_eq!(trace.meta.seed, 11);
+    assert_eq!(trace.meta.nodes, 30);
+    assert_eq!(trace.meta.jobs, 15);
+    assert_eq!(trace.dropped, 0, "a scaled run must fit the default ring");
+
+    let lifecycles = lifecycles(&trace);
+    assert_eq!(lifecycles.len() as u64, trace.meta.jobs, "every job must appear in the trace");
+    for (job, lc) in &lifecycles {
+        assert!(lc.is_complete(), "{job} has an incomplete lifecycle: {lc:?}");
+        assert!(lc.assignments >= 1, "{job} reached a terminal state without assignment");
+    }
+    let completed = lifecycles.values().filter(|lc| lc.completed).count() as u64;
+    assert_eq!(completed, stats.completed, "lifecycle view must agree with the metrics");
+
+    let summary = summarize(&trace);
+    assert_eq!(summary.events, trace.entries.len() as u64);
+    assert!(summary.request_rounds >= trace.meta.jobs, "each job opens at least one round");
+    assert!(summary.offers > 0, "an iMixed run must collect ACCEPT offers");
+}
+
+#[test]
+fn attaching_the_probe_does_not_change_the_run() {
+    let baseline = Runner::scaled(30, 15).run_once(Scenario::IMixed, 11);
+    let (probed, _) = traced(11);
+    assert_eq!(probed.completed, baseline.completed);
+    assert_eq!(probed.abandoned, baseline.abandoned);
+    assert_eq!(probed.events, baseline.events, "processed event count must not move");
+    assert_eq!(probed.traffic.total_messages(), baseline.traffic.total_messages());
+    assert_eq!(probed.completion.mean().to_bits(), baseline.completion.mean().to_bits());
+    assert_eq!(probed.waiting.mean().to_bits(), baseline.waiting.mean().to_bits());
+    assert_eq!(probed.completed_series.values(), baseline.completed_series.values());
+}
+
+#[test]
+fn runs_report_wall_time_and_event_throughput() {
+    let (stats, trace) = traced(11);
+    assert!(stats.wall_time_secs > 0.0, "a run takes nonzero wall time");
+    assert!(stats.events > 0, "a run processes events");
+    assert!(stats.events >= trace.entries.len() as u64 / 2, "event count must be plausible");
+    assert!(stats.events_per_sec() > 0.0);
+}
+
+#[test]
+fn same_seed_traces_do_not_diverge() {
+    let (_, a) = traced(11);
+    let (_, b) = traced(11);
+    assert_eq!(first_divergence(&a, &b), None, "same (config, seed) must replay exactly");
+}
+
+#[test]
+fn different_seeds_report_a_located_first_divergence() {
+    let (_, a) = traced(11);
+    let (_, b) = traced(12);
+    let divergence = first_divergence(&a, &b).expect("different seeds must diverge");
+    // Everything before the divergence matches; the divergence itself
+    // carries both entries so the report can show sim-time and node.
+    assert_eq!(a.entries[..divergence.index], b.entries[..divergence.index]);
+    assert!(divergence.left.is_some() || divergence.right.is_some());
+    let rendered = divergence.to_string();
+    assert!(rendered.contains("first divergence"), "{rendered}");
+}
