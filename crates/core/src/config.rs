@@ -1,5 +1,6 @@
 //! Protocol and simulation configuration (§IV-E defaults).
 
+use crate::fault::FaultPlan;
 use crate::net::NetModel;
 use aria_grid::Policy;
 use aria_overlay::LatencyModel;
@@ -47,6 +48,16 @@ pub struct AriaConfig {
     /// traverses for latency purposes. Replies are *counted* as one
     /// message (§V-E sizes) but *timed* as a short overlay route.
     pub reply_hops: u32,
+    /// How long an assigner waits for the assignee's ACK before
+    /// retransmitting an ASSIGN. Only armed when the world's
+    /// [`FaultPlan`] is active — on a reliable transport ASSIGNs are
+    /// never acknowledged and this is dead config.
+    pub assign_ack_timeout: SimDuration,
+    /// ASSIGN retransmit budget: after this many unacknowledged
+    /// retries (exponential backoff on [`AriaConfig::assign_ack_timeout`])
+    /// the assigner falls back to the next-best recorded offer, then to
+    /// the §III-D failsafe.
+    pub assign_max_retries: u32,
     /// Whether a node that can satisfy a REQUEST/INFORM also keeps
     /// forwarding it. The paper's text has matching nodes reply instead
     /// of forwarding; this flag exposes the alternative for ablation.
@@ -68,6 +79,8 @@ impl Default for AriaConfig {
             request_retry: SimDuration::from_secs(60),
             max_request_rounds: 50,
             reply_hops: 4,
+            assign_ack_timeout: SimDuration::from_secs(2),
+            assign_max_retries: 4,
             forward_on_match: false,
         }
     }
@@ -206,6 +219,11 @@ pub struct WorldConfig {
     /// [`NetModel::Lockstep`] only in exhaustive-exploration worlds).
     #[serde(default)]
     pub net: NetModel,
+    /// Transport fault injection ([`FaultPlan::none`] — i.e. a reliable
+    /// network — in every paper scenario; the chaos harness and the
+    /// `loss-sweep` study activate it).
+    #[serde(default)]
+    pub fault: FaultPlan,
 }
 
 impl WorldConfig {
@@ -228,6 +246,7 @@ impl WorldConfig {
             failsafe_detection: SimDuration::from_mins(5),
             reservations: None,
             net: NetModel::Sampled,
+            fault: FaultPlan::none(),
         }
     }
 
@@ -269,6 +288,9 @@ mod tests {
         assert_eq!(c.reschedule_threshold, SimDuration::from_mins(3));
         assert!(c.rescheduling);
         assert!(!c.forward_on_match);
+        // ASSIGN hardening knobs (only live under an active FaultPlan).
+        assert_eq!(c.assign_ack_timeout, SimDuration::from_secs(2));
+        assert_eq!(c.assign_max_retries, 4);
     }
 
     #[test]
@@ -314,6 +336,9 @@ mod tests {
         assert!(w.crashes.is_empty());
         assert!(w.failsafe);
         assert!(w.reservations.is_none());
+        // The paper assumes a reliable transport: no fault injection.
+        assert_eq!(w.fault, FaultPlan::none());
+        assert!(!w.fault.is_active());
     }
 
     #[test]

@@ -158,6 +158,26 @@ pub(crate) struct PendingRequest {
     pub best: Option<(Cost, NodeId)>,
 }
 
+/// An unacknowledged ASSIGN with its retransmit state. Only armed while
+/// the world's fault plan is active — on a reliable transport ASSIGNs
+/// cannot be lost and no slot ever carries one.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AssignInFlight {
+    /// The assignee the ASSIGN was sent to.
+    pub to: NodeId,
+    /// The assigner awaiting the ACK (initiator, or current holder on a
+    /// §III-D steal) — the node the assignee ACKs back to.
+    pub by: NodeId,
+    /// Retry counter (0 = original send, bumped per retransmit).
+    pub attempt: u32,
+    /// Arm generation: stale retransmit timers from a superseded arm
+    /// carry an older epoch and are ignored.
+    pub epoch: u32,
+    /// Whether the ASSIGN was a reschedule steal rather than the initial
+    /// delegation.
+    pub reschedule: bool,
+}
+
 /// Everything the world tracks per job, in one dense slot.
 #[derive(Debug, Clone)]
 pub(crate) struct JobSlot {
@@ -171,6 +191,16 @@ pub(crate) struct JobSlot {
     pub assignee: Option<NodeId>,
     /// The open offer collection, while the initiator is collecting.
     pub pending: Option<PendingRequest>,
+    /// The in-flight unacknowledged ASSIGN, while the fault-layer
+    /// retransmit timer is armed (always `None` on a reliable transport).
+    pub assign: Option<AssignInFlight>,
+    /// Monotone arm counter backing [`AssignInFlight::epoch`].
+    pub assign_epoch: u32,
+    /// Offers recorded during the job's last REQUEST round, for the
+    /// next-best fallback when ASSIGN retries exhaust. Only populated
+    /// while the fault plan is active, so the reliable-transport hot
+    /// path never allocates here.
+    pub offers: Vec<(Cost, NodeId)>,
 }
 
 /// Per-job protocol state indexed by raw job id.
@@ -190,8 +220,15 @@ impl JobTable {
         if index >= self.slots.len() {
             self.slots.resize_with(index + 1, || None);
         }
-        self.slots[index] =
-            Some(JobSlot { spec, initiator: None, assignee: None, pending: None });
+        self.slots[index] = Some(JobSlot {
+            spec,
+            initiator: None,
+            assignee: None,
+            pending: None,
+            assign: None,
+            assign_epoch: 0,
+            offers: Vec::new(),
+        });
     }
 
     /// The slot of a registered job.

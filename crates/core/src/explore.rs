@@ -67,14 +67,14 @@ pub enum Action {
         /// The lost message.
         msg: Message,
     },
-    /// Enqueue a second in-flight copy of a pending flood message
-    /// (at-least-once transport; only REQUEST/INFORM are duplicable —
-    /// a duplicated ASSIGN would model a transport bug as a protocol
-    /// violation).
+    /// Enqueue a second in-flight copy of a pending message
+    /// (at-least-once transport). Floods dedup via their visited sets;
+    /// ACCEPT/ASSIGN/ACK exercise the idempotent handlers (a duplicated
+    /// ASSIGN must suppress, not double-enqueue).
     Duplicate {
         /// The recipient of the extra copy.
         to: NodeId,
-        /// The duplicated flood message.
+        /// The duplicated message.
         msg: Message,
     },
     /// Fire the earliest pending non-delivery event, advancing the
@@ -165,7 +165,7 @@ impl<P: aria_probe::Probe> World<P> {
         let (flood, hops_left, job) = match msg {
             Message::Request { flood, hops_left, job, .. }
             | Message::Inform { flood, hops_left, job, .. } => (flood, hops_left, job),
-            Message::Accept { .. } | Message::Assign { .. } => return false,
+            Message::Accept { .. } | Message::Assign { .. } | Message::Ack { .. } => return false,
         };
         let same_flood = |m: &Message| match *m {
             Message::Request { flood: f, .. } | Message::Inform { flood: f, .. } => f == flood,
@@ -224,8 +224,8 @@ impl<P: aria_probe::Probe> World<P> {
     /// # Panics
     ///
     /// Panics if the action is not enabled: no matching pending delivery
-    /// for `Deliver`/`Drop`/`Duplicate`, a non-flood message for
-    /// `Duplicate`, or an empty timer pool for `Timer`.
+    /// for `Deliver`/`Drop`/`Duplicate`, or an empty timer pool for
+    /// `Timer`.
     pub fn step(&mut self, action: Action) {
         match action {
             Action::Deliver { to, msg } => {
@@ -249,15 +249,15 @@ impl<P: aria_probe::Probe> World<P> {
                 self.lose_message(self.events.now(), to, msg);
             }
             Action::Duplicate { to, msg } => {
-                let flood = match msg {
-                    Message::Request { flood, .. } | Message::Inform { flood, .. } => flood,
-                    _ => panic!("only flood messages can be duplicated"),
-                };
                 assert!(
                     self.events.entries().any(|(_, _, e)| *e == Event::Deliver { to, msg }),
                     "Duplicate action must match a pending delivery"
                 );
-                self.floods.get_mut(flood).in_flight += 1;
+                // Flood copies carry an in-flight share each; the other
+                // kinds have no per-copy bookkeeping.
+                if let Message::Request { flood, .. } | Message::Inform { flood, .. } = msg {
+                    self.floods.get_mut(flood).in_flight += 1;
+                }
                 // The copy is a transport artifact: it pays no traffic
                 // (record_message charged the logical send already).
                 self.events.schedule(self.events.now(), Event::Deliver { to, msg });
@@ -537,6 +537,46 @@ mod tests {
             let same_flood_pending = rest.iter().map(|p| p.count).sum::<u32>() >= 2;
             assert_eq!(dup.inert, same_flood_pending);
         }
+    }
+
+    #[test]
+    fn duplicated_assign_is_suppressed_not_double_enqueued() {
+        // An at-least-once transport may deliver the same ASSIGN twice;
+        // the second copy must not enqueue the job a second time (the
+        // queue validator would catch the duplicate) nor complete it
+        // twice.
+        let mut exercised = false;
+        'seeds: for seed in 0..30u64 {
+            let mut world = lockstep_world(4, seed);
+            world.submit_job(aria_sim::SimTime::from_mins(1), universal_job(&world, 0));
+            loop {
+                let assign = world
+                    .pending_deliveries()
+                    .iter()
+                    .find(|d| matches!(d.msg, Message::Assign { .. }))
+                    .copied();
+                if let Some(d) = assign {
+                    world.step(Action::Duplicate { to: d.to, msg: d.msg });
+                    world.step(Action::Deliver { to: d.to, msg: d.msg });
+                    assert_eq!(world.holder_of(d.msg.job_id()), Some(d.to));
+                    world.step(Action::Deliver { to: d.to, msg: d.msg });
+                    world.try_check_invariants().expect("invariants after duplicate ASSIGN");
+                    while let Some(action) = world.next_queued_action() {
+                        world.step(action);
+                    }
+                    assert_eq!(world.completion_count(), 1);
+                    exercised = true;
+                    break 'seeds;
+                }
+                match world.next_queued_action() {
+                    Some(action) => world.step(action),
+                    // The winner was the initiator (local enqueue, no
+                    // ASSIGN on the wire): try the next seed.
+                    None => continue 'seeds,
+                }
+            }
+        }
+        assert!(exercised, "no seed produced a remote ASSIGN");
     }
 
     #[test]

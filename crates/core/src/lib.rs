@@ -42,6 +42,10 @@
 //! * [`explore`] — the exploration surface on [`World`]: enumerating
 //!   pending deliveries, applying one [`Action`] at a time, canonical
 //!   state fingerprints. Driven by the `aria-model` checker.
+//! * [`fault`] — deterministic transport fault injection
+//!   ([`FaultPlan`]): per-message loss, duplicates, latency jitter and
+//!   scheduled overlay partitions, replayable from the world seed and
+//!   shrinkable by injection index (`cargo xtask chaos`).
 //!
 //! ## Example
 //!
@@ -70,6 +74,7 @@ pub mod gossip;
 pub mod config;
 mod dense;
 pub mod explore;
+pub mod fault;
 pub mod msg;
 pub mod multireq;
 pub mod net;
@@ -79,6 +84,7 @@ pub use central::CentralScheduler;
 pub use gossip::GossipScheduler;
 pub use config::{AriaConfig, OverlayKind, PolicyMix, ReservationPlan, WorldConfig};
 pub use explore::{Action, PendingDelivery};
+pub use fault::{FaultKind, FaultPlan, FaultRecord, PartitionWindow};
 pub use msg::{FloodId, Message};
 pub use multireq::MultiRequestScheduler;
 pub use net::NetModel;

@@ -86,15 +86,29 @@ pub enum Message {
         /// The delegated job.
         job: JobId,
     },
+    /// ACK — `node address · job UUID`.
+    ///
+    /// Delivery acknowledgement for an ASSIGN, sent by the assignee back
+    /// to the assigner. Not part of the paper's Table I: on its reliable
+    /// transport ASSIGNs cannot be lost, so ACKs are only emitted when a
+    /// [`crate::fault::FaultPlan`] is active and the retransmit layer is
+    /// armed.
+    Ack {
+        /// The acknowledging assignee.
+        from: NodeId,
+        /// The job whose ASSIGN landed.
+        job: JobId,
+    },
 }
 
 impl Message {
     /// The traffic class of this message, for bandwidth accounting
-    /// (REQUEST/INFORM/ASSIGN = 1 KiB, ACCEPT = 128 B; §V-E).
+    /// (REQUEST/INFORM/ASSIGN = 1 KiB, ACCEPT = 128 B; §V-E). ACKs are
+    /// tiny control replies and are charged like ACCEPTs.
     pub fn traffic_class(&self) -> TrafficClass {
         match self {
             Message::Request { .. } => TrafficClass::Request,
-            Message::Accept { .. } => TrafficClass::Accept,
+            Message::Accept { .. } | Message::Ack { .. } => TrafficClass::Accept,
             Message::Inform { .. } => TrafficClass::Inform,
             Message::Assign { .. } => TrafficClass::Assign,
         }
@@ -106,7 +120,8 @@ impl Message {
             Message::Request { job, .. }
             | Message::Inform { job, .. }
             | Message::Assign { job, .. }
-            | Message::Accept { job, .. } => *job,
+            | Message::Accept { job, .. }
+            | Message::Ack { job, .. } => *job,
         }
     }
 }
@@ -125,6 +140,9 @@ impl fmt::Display for Message {
             }
             Message::Assign { initiator, job } => {
                 write!(f, "ASSIGN[{job} initiator={initiator}]")
+            }
+            Message::Ack { from, job } => {
+                write!(f, "ACK[{job} from {from}]")
             }
         }
     }
@@ -153,10 +171,13 @@ mod tests {
             flood: FloodId(2),
         };
         let assign = Message::Assign { initiator: NodeId::new(0), job: JOB };
+        let ack = Message::Ack { from: NodeId::new(3), job: JOB };
         assert_eq!(request.traffic_class(), TrafficClass::Request);
         assert_eq!(accept.traffic_class(), TrafficClass::Accept);
         assert_eq!(inform.traffic_class(), TrafficClass::Inform);
         assert_eq!(assign.traffic_class(), TrafficClass::Assign);
+        // ACKs ride the small-control-message class.
+        assert_eq!(ack.traffic_class(), TrafficClass::Accept);
     }
 
     #[test]
@@ -172,6 +193,7 @@ mod tests {
                 flood: FloodId(2),
             },
             Message::Assign { initiator: NodeId::new(0), job: JOB },
+            Message::Ack { from: NodeId::new(3), job: JOB },
         ];
         for m in msgs {
             assert_eq!(m.job_id(), JOB);

@@ -16,6 +16,10 @@
 //! * Duplicate suppression follows the selective flooding protocol of
 //!   the paper's reference \[28\]: a node processes each flood once, and
 //!   forwarding avoids nodes the flood already visited.
+//! * With an active [`crate::FaultPlan`] the transport additionally
+//!   drops, duplicates, jitters and partitions messages, drawing from a
+//!   dedicated seeded stream so fault schedules replay bit-for-bit (see
+//!   [`crate::fault`]); [`FaultPlan::none`] skips the whole layer.
 //!
 //! ## Hot-path representation
 //!
@@ -41,7 +45,8 @@
 //! every metric are bit-for-bit identical to the naive hash-map layout.
 
 use crate::config::{OverlayKind, WorldConfig};
-use crate::dense::{FloodTable, JobTable, PendingRequest};
+use crate::dense::{AssignInFlight, FloodTable, JobTable, PendingRequest};
+use crate::fault::{FaultKind, FaultPlan, FaultRecord};
 use crate::msg::{FloodId, Message};
 use aria_grid::{Cost, CostKind, JobId, JobSpec, NodeProfile, Policy, SchedulerQueue};
 use aria_metrics::MetricsCollector;
@@ -92,6 +97,13 @@ pub(crate) enum Event {
         /// The lost job.
         job: JobId,
     },
+    /// An unacknowledged ASSIGN's retransmit timer fires (fault layer;
+    /// `epoch` guards against stale timers after a newer delegation).
+    AssignTimeout { job: JobId, epoch: u32 },
+    /// A scheduled partition window opens (fault layer).
+    PartitionStart { window: u32 },
+    /// A scheduled partition window heals (fault layer).
+    PartitionEnd { window: u32 },
     /// Periodic gauge sampling.
     Sample,
 }
@@ -157,6 +169,22 @@ pub struct World<P: Probe = NullProbe> {
     pub(crate) candidates: Vec<NodeId>,
     /// Scratch buffer for sampled fan-out targets.
     pub(crate) picked: Vec<NodeId>,
+    /// Whether the configured [`FaultPlan`] injects anything. Cached so
+    /// the hot transport path pays one predictable branch when it does
+    /// not (the common case).
+    pub(crate) fault_active: bool,
+    /// Dedicated RNG stream for fault draws. Forked from the world seed
+    /// only when the plan is active, so an inactive plan leaves the main
+    /// RNG sequence untouched — bit-for-bit with pre-fault builds.
+    pub(crate) fault_rng: SimRng,
+    /// Next injection index: increments on every fault that fires, even
+    /// when a shrinker allow-list vetoes its effect (the index space must
+    /// not shift between shrink candidates).
+    pub(crate) fault_seq: u64,
+    /// Every fault injection that took effect, in firing order.
+    pub(crate) fault_log: Vec<FaultRecord>,
+    /// How many [`Event::PartitionStart`] windows are currently open.
+    pub(crate) partitions_open: u32,
     /// The observability sink (see the struct docs); [`NullProbe`] by
     /// default, which compiles every `record` call away.
     pub(crate) probe: P,
@@ -180,6 +208,12 @@ impl<P: Probe> World<P> {
         let mut rng = SimRng::seed_from(seed);
         let mut overlay_rng = rng.fork(1);
         let mut profile_rng = rng.fork(2);
+        // The fault stream is forked only when the plan can inject
+        // anything: forking draws from the parent, so an unconditional
+        // fork would shift every later draw and break `FaultPlan::none`'s
+        // bit-for-bit equivalence with pre-fault builds.
+        let fault_active = config.fault.is_active();
+        let fault_rng = if fault_active { rng.fork(7) } else { SimRng::seed_from(0) };
 
         let mut blatant = Blatant::new(config.overlay_path_length, config.latency);
         let topology = match config.overlay {
@@ -210,6 +244,10 @@ impl<P: Probe> World<P> {
         for at in &config.crashes {
             events.schedule(*at, Event::Crash);
         }
+        for (i, window) in config.fault.partitions.iter().enumerate() {
+            events.schedule(window.start, Event::PartitionStart { window: i as u32 });
+            events.schedule(window.end(), Event::PartitionEnd { window: i as u32 });
+        }
         let mut world = World {
             config,
             topology,
@@ -227,6 +265,11 @@ impl<P: Probe> World<P> {
             processed: 0,
             candidates: Vec::new(),
             picked: Vec::new(),
+            fault_active,
+            fault_rng,
+            fault_seq: 0,
+            fault_log: Vec::new(),
+            partitions_open: 0,
             probe,
         };
         world.metrics = MetricsCollector::new(world.config.sample_period);
@@ -299,6 +342,12 @@ impl<P: Probe> World<P> {
     /// Number of failsafe job recoveries performed.
     pub fn recovered_count(&self) -> u64 {
         self.recovered
+    }
+
+    /// Every fault injection that took effect so far, in firing order.
+    /// Empty unless the configured [`FaultPlan`] is active.
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        &self.fault_log
     }
 
     /// Whether a node is alive (not crashed).
@@ -403,6 +452,20 @@ impl<P: Probe> World<P> {
             self.check_invariants();
         }
         &self.metrics
+    }
+
+    /// Runs to completion auditing like [`World::run_checked`], but
+    /// returns the first invariant violation instead of panicking. The
+    /// chaos harness (`cargo xtask chaos`) uses this as its oracle: a
+    /// violation under a randomized fault schedule must become a
+    /// shrinkable report, not a crash.
+    pub fn run_audited(&mut self) -> Result<(), String> {
+        while let Some((now, event)) = self.events.pop() {
+            self.processed += 1;
+            self.handle(now, event);
+            self.try_check_invariants()?;
+        }
+        Ok(())
     }
 
     /// Total number of events handled by [`World::run`]/[`World::run_until`].
@@ -511,19 +574,24 @@ impl<P: Probe> World<P> {
                         *in_flight.entry(flood.0).or_insert(0) += 1;
                         referenced.push(job);
                     }
-                    Message::Assign { job, .. } | Message::Accept { job, .. } => {
+                    Message::Assign { job, .. }
+                    | Message::Accept { job, .. }
+                    | Message::Ack { job, .. } => {
                         referenced.push(job);
                     }
                 },
                 Event::Submit { job }
                 | Event::RetryRequest { job, .. }
                 | Event::ExecutionComplete { job, .. }
+                | Event::AssignTimeout { job, .. }
                 | Event::RecoverJob { job } => referenced.push(job),
                 Event::AcceptWindowClosed { job, .. } => windows.push(job),
                 Event::InformTick { .. }
                 | Event::DispatchRetry { .. }
                 | Event::Join
                 | Event::Crash
+                | Event::PartitionStart { .. }
+                | Event::PartitionEnd { .. }
                 | Event::Sample => {}
             }
         }
@@ -666,6 +734,15 @@ impl<P: Probe> World<P> {
             Event::Join => self.join_node(now),
             Event::Crash => self.crash_node(now),
             Event::RecoverJob { job } => self.recover_job(now, job),
+            Event::AssignTimeout { job, epoch } => self.assign_timeout(now, job, epoch),
+            Event::PartitionStart { window } => {
+                self.partitions_open += 1;
+                self.probe.record(now, ProbeEvent::PartitionStarted { window });
+            }
+            Event::PartitionEnd { window } => {
+                self.partitions_open -= 1;
+                self.probe.record(now, ProbeEvent::PartitionHealed { window });
+            }
             Event::Sample => self.sample(now),
         }
     }
@@ -683,6 +760,14 @@ impl<P: Probe> World<P> {
     }
 
     fn start_request_round(&mut self, now: SimTime, initiator: NodeId, job: JobId, round: u32) {
+        if self.fault_active {
+            // A fresh discovery supersedes the fault layer's leftovers:
+            // recorded offers are stale and any armed ASSIGN retransmit
+            // is obsolete (its pending timeout goes stale via `assign`).
+            let slot = self.jobs.slot_mut(job);
+            slot.offers.clear();
+            slot.assign = None;
+        }
         let spec = self.jobs.spec(job);
         // The initiator is itself a candidate when it matches the job.
         let own_bid = {
@@ -721,7 +806,7 @@ impl<P: Probe> World<P> {
         for i in 0..self.picked.len() {
             let seed = self.picked[i];
             self.floods.get_mut(flood).in_flight += 1;
-            self.send_routed(now, seed, request);
+            self.send_routed(now, initiator, seed, request);
         }
         self.probe.record(
             now,
@@ -760,7 +845,10 @@ impl<P: Probe> World<P> {
                     // Local execution: no ASSIGN message is needed.
                     self.enqueue_job(now, initiator, job);
                 } else {
-                    self.send_routed(now, winner, Message::Assign { initiator, job });
+                    if self.fault_active {
+                        self.arm_assign(now, job, initiator, winner, false);
+                    }
+                    self.send_routed(now, initiator, winner, Message::Assign { initiator, job });
                 }
             }
             None => {
@@ -790,12 +878,7 @@ impl<P: Probe> World<P> {
     /// recipient crashed while the message was in flight, and the model
     /// checker's `Drop` fault action (`crate::explore`).
     pub(crate) fn lose_message(&mut self, now: SimTime, to: NodeId, msg: Message) {
-        let kind = match msg {
-            Message::Request { .. } => MsgKind::Request,
-            Message::Accept { .. } => MsgKind::Accept,
-            Message::Inform { .. } => MsgKind::Inform,
-            Message::Assign { .. } => MsgKind::Assign,
-        };
+        let kind = Self::msg_kind(msg);
         self.probe.record(now, ProbeEvent::MessageDropped { kind, job: msg.job_id(), to });
         match msg {
             Message::Request { flood, .. } | Message::Inform { flood, .. } => {
@@ -803,6 +886,12 @@ impl<P: Probe> World<P> {
                 self.cleanup_flood(flood);
             }
             Message::Assign { job, .. } => {
+                if self.jobs.slot(job).assign.is_some() {
+                    // The fault layer's retransmit timer owns recovery of
+                    // this delegation; arming the failsafe here too would
+                    // double-recover the job.
+                    return;
+                }
                 // The delegation evaporates; the initiator's failsafe
                 // will rediscover the job.
                 if self.config.failsafe {
@@ -815,7 +904,21 @@ impl<P: Probe> World<P> {
                     self.lost.push(job);
                 }
             }
-            Message::Accept { .. } => {}
+            // A lost offer is a missed opportunity; a lost ACK leaves the
+            // retransmit timer armed, and the resulting duplicate ASSIGN
+            // is suppressed and re-acknowledged on arrival.
+            Message::Accept { .. } | Message::Ack { .. } => {}
+        }
+    }
+
+    /// The probe-schema kind tag of a message.
+    pub(crate) fn msg_kind(msg: Message) -> MsgKind {
+        match msg {
+            Message::Request { .. } => MsgKind::Request,
+            Message::Accept { .. } => MsgKind::Accept,
+            Message::Inform { .. } => MsgKind::Inform,
+            Message::Assign { .. } => MsgKind::Assign,
+            Message::Ack { .. } => MsgKind::Ack,
         }
     }
 
@@ -857,7 +960,7 @@ impl<P: Probe> World<P> {
                             cost_ms: cost.as_millis(),
                         },
                     );
-                    self.send_routed(now, initiator, Message::Accept { from: to, job, cost });
+                    self.send_routed(now, to, initiator, Message::Accept { from: to, job, cost });
                 }
                 if (!bids || self.config.aria.forward_on_match) && hops_left > 1 {
                     let forwarded =
@@ -901,6 +1004,7 @@ impl<P: Probe> World<P> {
                         );
                         self.send_routed(
                             now,
+                            to,
                             assignee,
                             Message::Accept { from: to, job, cost: my_cost },
                         );
@@ -914,13 +1018,15 @@ impl<P: Probe> World<P> {
                 self.flood_departure(flood);
             }
             Message::Accept { from, job, cost } => self.handle_accept(now, to, from, job, cost),
-            Message::Assign { initiator: _, job } => self.enqueue_job(now, to, job),
+            Message::Assign { initiator: _, job } => self.handle_assign(now, to, job),
+            Message::Ack { from, job } => self.handle_ack(now, from, job),
         }
     }
 
     fn handle_accept(&mut self, now: SimTime, to: NodeId, from: NodeId, job: JobId, cost: Cost) {
         // Offer for a job this node initiated and is still collecting?
         {
+            let fault_active = self.fault_active;
             let slot = self.jobs.slot_mut(job);
             if slot.initiator == Some(to) {
                 if let Some(pending) = slot.pending.as_mut() {
@@ -930,6 +1036,12 @@ impl<P: Probe> World<P> {
                     };
                     if better {
                         pending.best = Some((cost, from));
+                    }
+                    if fault_active {
+                        // Remember every offer: if the winner's ASSIGN
+                        // exhausts its retransmits, the next-best offer
+                        // is the fallback (before the §III-D failsafe).
+                        slot.offers.push((cost, from));
                     }
                     self.probe.record(
                         now,
@@ -964,7 +1076,169 @@ impl<P: Probe> World<P> {
         let initiator = self.jobs.slot(job).initiator.unwrap_or(to);
         self.metrics.job_assigned(job, now, true);
         self.probe.record(now, ProbeEvent::Assigned { job, by: to, to: from, reschedule: true });
-        self.send_routed(now, from, Message::Assign { initiator, job });
+        if self.fault_active {
+            self.arm_assign(now, job, to, from, true);
+        }
+        self.send_routed(now, to, from, Message::Assign { initiator, job });
+    }
+
+    /// Delivers an ASSIGN idempotently: a duplicate (the job is already
+    /// queued, running or completed, or its initiator reopened discovery)
+    /// is suppressed instead of double-enqueued. With the fault layer
+    /// active the assignee acknowledges the delegation so the assigner's
+    /// retransmit timer stands down; a suppressed duplicate re-ACKs, so
+    /// a lost ACK cannot retransmit forever.
+    fn handle_assign(&mut self, now: SimTime, to: NodeId, job: JobId) {
+        let completed = self.metrics.records().get(&job).is_some_and(|r| r.is_completed());
+        let stale = self.jobs.slot(job).pending.is_some();
+        if completed || stale || self.job_is_held(job) {
+            self.probe.record(
+                now,
+                ProbeEvent::DuplicateSuppressed { kind: MsgKind::Assign, job, node: to },
+            );
+            self.send_ack(now, to, job);
+            return;
+        }
+        self.enqueue_job(now, to, job);
+        self.send_ack(now, to, job);
+    }
+
+    /// ACKs a delivered ASSIGN back to its assigner — but only when the
+    /// armed delegation actually names this assignee, so a stale copy
+    /// (retransmitted to a node the job has since moved away from) cannot
+    /// stand down a newer delegation's timer.
+    fn send_ack(&mut self, now: SimTime, to: NodeId, job: JobId) {
+        if !self.fault_active {
+            return;
+        }
+        if let Some(a) = self.jobs.slot(job).assign {
+            if a.to == to {
+                self.send_routed(now, to, a.by, Message::Ack { from: to, job });
+            }
+        }
+    }
+
+    /// An ASSIGN acknowledgement landed back at the assigner: disarm the
+    /// retransmit timer (its pending timeout goes stale). Late and
+    /// duplicate ACKs — the slot already stood down, or a newer
+    /// delegation names a different assignee — are ignored.
+    fn handle_ack(&mut self, now: SimTime, from: NodeId, job: JobId) {
+        let slot = self.jobs.slot_mut(job);
+        if let Some(a) = slot.assign {
+            if a.to == from {
+                slot.assign = None;
+                self.probe.record(now, ProbeEvent::AckReceived { job, from });
+            }
+        }
+    }
+
+    /// Arms the ACK/retransmit machinery for an ASSIGN about to be sent
+    /// (fault layer only): records the in-flight delegation under a fresh
+    /// epoch and schedules the first timeout.
+    fn arm_assign(&mut self, now: SimTime, job: JobId, by: NodeId, to: NodeId, reschedule: bool) {
+        let slot = self.jobs.slot_mut(job);
+        slot.assign_epoch = slot.assign_epoch.wrapping_add(1);
+        let epoch = slot.assign_epoch;
+        slot.assign = Some(AssignInFlight { to, by, attempt: 0, epoch, reschedule });
+        self.events.schedule(
+            now + self.config.aria.assign_ack_timeout,
+            Event::AssignTimeout { job, epoch },
+        );
+    }
+
+    /// An ASSIGN's ACK did not arrive in time: retransmit with bounded
+    /// exponential backoff; when retries exhaust (or an endpoint died),
+    /// fall back to the next-best recorded offer, then to the §III-D
+    /// failsafe as the last resort.
+    ///
+    /// Exactly one timeout is pending per armed epoch: each handler
+    /// schedules at most one successor, and a stale epoch (a newer
+    /// delegation re-armed the slot) or a disarmed slot returns
+    /// immediately.
+    fn assign_timeout(&mut self, now: SimTime, job: JobId, epoch: u32) {
+        let Some(a) = self.jobs.slot(job).assign else {
+            return; // ACKed, superseded, or recovered — stand down
+        };
+        if a.epoch != epoch {
+            return; // a newer delegation owns the timer now
+        }
+        let completed = self.metrics.records().get(&job).is_some_and(|r| r.is_completed());
+        if completed || self.job_is_held(job) {
+            // The ASSIGN landed but its ACK was lost; nothing to redo.
+            self.jobs.slot_mut(job).assign = None;
+            return;
+        }
+        let alive = self.nodes[a.by.index()].alive && self.nodes[a.to.index()].alive;
+        if a.attempt < self.config.aria.assign_max_retries && alive {
+            let attempt = a.attempt + 1;
+            self.jobs.slot_mut(job).assign = Some(AssignInFlight { attempt, ..a });
+            self.probe.record(now, ProbeEvent::AssignRetransmit { job, to: a.to, attempt });
+            let initiator = self.jobs.slot(job).initiator.unwrap_or(a.by);
+            self.send_routed(now, a.by, a.to, Message::Assign { initiator, job });
+            let backoff = self.config.aria.assign_ack_timeout * (1u64 << attempt.min(16));
+            self.events.schedule(now + backoff, Event::AssignTimeout { job, epoch });
+            return;
+        }
+        // Retries exhausted: this delegation is abandoned.
+        self.jobs.slot_mut(job).assign = None;
+        let mut fallback = None;
+        while let Some((cost, next)) = self.pop_best_offer(job) {
+            if next != a.to && self.nodes[next.index()].alive {
+                fallback = Some((cost, next));
+                break;
+            }
+        }
+        if let Some((_cost, next)) = fallback {
+            self.metrics.job_assigned(job, now, a.reschedule);
+            self.probe.record(
+                now,
+                ProbeEvent::Assigned { job, by: a.by, to: next, reschedule: a.reschedule },
+            );
+            let initiator = self.jobs.slot(job).initiator.unwrap_or(a.by);
+            if next == a.by {
+                self.enqueue_job(now, next, job);
+            } else {
+                self.arm_assign(now, job, a.by, next, a.reschedule);
+                self.send_routed(now, a.by, next, Message::Assign { initiator, job });
+            }
+            return;
+        }
+        // No viable offer left: the failsafe is the last resort.
+        if self.config.failsafe {
+            self.events
+                .schedule(now + self.config.failsafe_detection, Event::RecoverJob { job });
+        } else {
+            self.probe.record(now, ProbeEvent::JobLost { job });
+            self.lost.push(job);
+        }
+    }
+
+    /// Removes and returns the cheapest recorded offer for a job (the
+    /// list is only populated while a fault plan is active).
+    fn pop_best_offer(&mut self, job: JobId) -> Option<(Cost, NodeId)> {
+        let offers = &mut self.jobs.slot_mut(job).offers;
+        if offers.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for i in 1..offers.len() {
+            if offers[i].0 < offers[best].0 {
+                best = i;
+            }
+        }
+        Some(offers.swap_remove(best))
+    }
+
+    /// Whether the job's recorded assignee is alive and actually holds it
+    /// (waiting in its queue or running on it).
+    fn job_is_held(&self, job: JobId) -> bool {
+        let Some(holder) = self.jobs.slot(job).assignee else {
+            return false;
+        };
+        let state = &self.nodes[holder.index()];
+        state.alive
+            && (state.queue.is_waiting(job)
+                || state.queue.running().is_some_and(|r| r.spec.id == job))
     }
 
     // --- local execution --------------------------------------------------------
@@ -1184,13 +1458,11 @@ impl<P: Probe> World<P> {
         if self.metrics.records().get(&job).is_some_and(|r| r.is_completed()) {
             return;
         }
-        if let Some(holder) = self.jobs.slot(job).assignee {
-            let state = &self.nodes[holder.index()];
-            let held = state.queue.is_waiting(job)
-                || state.queue.running().is_some_and(|r| r.spec.id == job);
-            if state.alive && held {
-                return; // false alarm: the job found another home
-            }
+        if self.job_is_held(job) {
+            return; // false alarm: the job found another home
+        }
+        if self.jobs.slot(job).pending.is_some() {
+            return; // discovery already underway (a duplicate recovery)
         }
         match self.jobs.slot(job).initiator {
             Some(initiator) if self.nodes[initiator.index()].alive => {
@@ -1288,20 +1560,137 @@ impl<P: Probe> World<P> {
             let latency = self.config.net.flood_latency(link);
             self.floods.get_mut(flood).in_flight += 1;
             self.metrics.record_message(msg.traffic_class());
-            self.events.schedule(now + latency, Event::Deliver { to: target, msg });
+            self.transmit(now, from, target, msg, latency);
         }
     }
 
-    /// Sends a point-to-point message (ACCEPT/ASSIGN): counted once,
-    /// timed as a few overlay hops.
-    fn send_routed(&mut self, now: SimTime, to: NodeId, msg: Message) {
+    /// Sends a point-to-point message (ACCEPT/ASSIGN/ACK): counted once,
+    /// timed as a few overlay hops. `from` is the logical sender — the
+    /// transport only needs it to decide which side of a partition cut
+    /// the message originates on.
+    fn send_routed(&mut self, now: SimTime, from: NodeId, to: NodeId, msg: Message) {
         let latency = self.config.net.reply_latency(
             &mut self.rng,
             &self.config.latency,
             self.config.aria.reply_hops,
         );
         self.metrics.record_message(msg.traffic_class());
-        self.events.schedule(now + latency, Event::Deliver { to, msg });
+        self.transmit(now, from, to, msg, latency);
+    }
+
+    // --- fault layer (see `crate::fault`) -----------------------------------------
+
+    /// The final transport step for one message copy: applies the active
+    /// [`FaultPlan`] (partition cut, loss, duplication, jitter), then
+    /// schedules delivery. With no active plan this is exactly the one
+    /// `events.schedule` the pre-fault transport performed — no RNG
+    /// draws, no bookkeeping — which is what keeps [`FaultPlan::none`]
+    /// bit-for-bit inert.
+    ///
+    /// Traffic was already charged by the caller: a lost message was
+    /// still transmitted (§V-E counts logical messages), and a duplicate
+    /// is transport-level noise, not an extra protocol message.
+    fn transmit(&mut self, now: SimTime, from: NodeId, to: NodeId, msg: Message, latency: SimDuration) {
+        if !self.fault_active {
+            self.events.schedule(now + latency, Event::Deliver { to, msg });
+            return;
+        }
+        // Partition first: an open cut severs the link outright, no
+        // randomness involved (the injection index still lets the
+        // shrinker veto individual crossings).
+        if self.partitions_open > 0
+            && FaultPlan::crosses_cut(from, to)
+            && self.fault_fires(FaultKind::Partition, now, to, msg)
+        {
+            self.drop_in_transit(now, to, msg);
+            return;
+        }
+        let loss = self.config.fault.loss;
+        if loss > 0.0
+            && self.fault_rng.chance(loss)
+            && self.fault_fires(FaultKind::Loss, now, to, msg)
+        {
+            self.drop_in_transit(now, to, msg);
+            return;
+        }
+        let jitter = self.jitter();
+        self.events.schedule(now + latency + jitter, Event::Deliver { to, msg });
+        let duplicate = self.config.fault.duplicate;
+        if duplicate > 0.0
+            && self.fault_rng.chance(duplicate)
+            && self.fault_fires(FaultKind::Duplicate, now, to, msg)
+        {
+            // The second copy carries its own in-flight share for flood
+            // accounting and its own jitter draw.
+            if let Message::Request { flood, .. } | Message::Inform { flood, .. } = msg {
+                self.floods.get_mut(flood).in_flight += 1;
+            }
+            let extra = self.jitter();
+            self.events.schedule(now + latency + jitter + extra, Event::Deliver { to, msg });
+        }
+    }
+
+    /// One uniformly-drawn jitter increment from the plan (zero when the
+    /// plan has no jitter, without consuming a draw).
+    fn jitter(&mut self) -> SimDuration {
+        let ms = self.config.fault.jitter_ms;
+        if ms == 0 {
+            return SimDuration::from_millis(0);
+        }
+        SimDuration::from_millis(self.fault_rng.u64_range(0, ms + 1))
+    }
+
+    /// Assigns the next injection index and decides whether the fault
+    /// takes effect. The index advances on every firing — vetoed or not —
+    /// so the index space is identical across shrink candidates; only
+    /// kept firings reach the fault log.
+    fn fault_fires(&mut self, kind: FaultKind, now: SimTime, to: NodeId, msg: Message) -> bool {
+        let index = self.fault_seq;
+        self.fault_seq += 1;
+        if !self.config.fault.keeps(index) {
+            return false;
+        }
+        self.fault_log.push(FaultRecord {
+            index,
+            kind,
+            at: now,
+            to,
+            msg: Self::msg_kind(msg),
+            job: msg.job_id(),
+        });
+        true
+    }
+
+    /// Books a message copy claimed by the fault layer at send time.
+    /// Mirrors [`World::lose_message`] except floods are *not* recycled
+    /// here: every flood sender ends its loop with a `cleanup_flood`, and
+    /// recycling mid-loop would hand the slot to the caller's next
+    /// in-flight increment.
+    fn drop_in_transit(&mut self, now: SimTime, to: NodeId, msg: Message) {
+        self.probe.record(
+            now,
+            ProbeEvent::MessageDropped { kind: Self::msg_kind(msg), job: msg.job_id(), to },
+        );
+        match msg {
+            Message::Request { flood, .. } | Message::Inform { flood, .. } => {
+                self.floods.get_mut(flood).in_flight -= 1;
+            }
+            Message::Assign { job, .. } => {
+                if self.jobs.slot(job).assign.is_some() {
+                    return; // the retransmit timer owns recovery
+                }
+                if self.config.failsafe {
+                    self.events.schedule(
+                        now + self.config.failsafe_detection,
+                        Event::RecoverJob { job },
+                    );
+                } else {
+                    self.probe.record(now, ProbeEvent::JobLost { job });
+                    self.lost.push(job);
+                }
+            }
+            Message::Accept { .. } | Message::Ack { .. } => {}
+        }
     }
 }
 
@@ -1653,6 +2042,147 @@ mod tests {
         assert_eq!(waiting.count(), 40);
         // Every job waits at least the accept window before starting.
         assert!(waiting.min() >= world.config().aria.accept_window.as_secs_f64());
+    }
+
+    /// Regression: a dropped *reschedule* (steal) ASSIGN must never strand
+    /// the job. The holder has already dequeued it when the ASSIGN goes
+    /// out, so without the ACK/retransmit ladder (and the failsafe behind
+    /// it) nobody would hold the job any more.
+    ///
+    /// The test drives the event loop by hand: it waits for a moment
+    /// where a job sits waiting on its holder expensively enough to
+    /// steal, injects an irresistible rescheduling bid through the real
+    /// ACCEPT handler, and then plays lossy network for that one job —
+    /// every ASSIGN about it is dropped until the failsafe fires.
+    #[test]
+    fn dropped_steal_assign_retransmits_then_failsafe_recovers() {
+        let mut config = WorldConfig::small_test(10);
+        // Smallest active plan: the fault layer (and with it ASSIGN
+        // arming) is on, but the transport stays effectively reliable.
+        config.fault.jitter_ms = 1;
+        let mut world = World::new(config, 23);
+        // A burst dense enough that queues build past the steal threshold.
+        let mut jobs = JobGenerator::paper_batch();
+        let schedule = SubmissionSchedule::new(SimTime::from_mins(1), SimDuration::from_secs(5), 20);
+        world.submit_schedule(&schedule, &mut jobs);
+
+        // Step until some job is waiting on its holder with a queue cost
+        // big enough that a crafted bid clears the steal threshold.
+        let threshold = world.config.aria.reschedule_threshold.as_millis() as i64;
+        let mut steal: Option<(SimTime, JobId, NodeId)> = None;
+        while steal.is_none() {
+            let (now, event) = world.events.pop().expect("no stealable moment in this run");
+            world.handle(now, event);
+            steal = world.metrics.records().keys().find_map(|&job| {
+                let holder = world.jobs.slot(job).assignee?;
+                let cost = world.nodes[holder.index()].queue.cost_of_waiting(job, now)?;
+                (cost.as_millis() > threshold + 1).then_some((now, job, holder))
+            });
+        }
+        let (now, job, holder) = steal.unwrap();
+        let spec = world.jobs.spec(job);
+        let thief = world
+            .topology
+            .nodes()
+            .find(|&n| {
+                n != holder
+                    && world.nodes[n.index()].alive
+                    && World::<NullProbe>::node_can_bid(&world.nodes[n.index()], &spec)
+            })
+            .expect("some other node can bid for the job");
+
+        // The real steal path: dequeues from the holder, arms the
+        // retransmit record, sends the ASSIGN.
+        world.handle_accept(now, holder, thief, job, Cost::from_ettc(SimDuration::from_millis(1)));
+        let armed = world.jobs.slot(job).assign.expect("steal ASSIGN must be armed");
+        assert!(armed.reschedule, "the armed record must know it was a steal");
+        assert_eq!(armed.to, thief);
+        assert!(
+            !world.nodes[holder.index()].queue.is_waiting(job),
+            "the holder released the job when delegating"
+        );
+
+        // Lossy network for this one job: drop every ASSIGN about it —
+        // the original, all retransmits, and every fallback — until the
+        // failsafe takes over. No crash happens, so the only possible
+        // recovery is the retransmit-exhaustion one.
+        let mut drops = 0usize;
+        let mut max_attempt = 0u32;
+        while let Some((t, event)) = world.events.pop() {
+            if let Some(a) = world.jobs.slot(job).assign {
+                max_attempt = max_attempt.max(a.attempt);
+            }
+            if world.recovered_count() == 0 {
+                if let Event::Deliver { to, msg: msg @ Message::Assign { job: j, .. } } = event {
+                    if j == job {
+                        drops += 1;
+                        world.drop_in_transit(t, to, msg);
+                        continue;
+                    }
+                }
+            }
+            world.handle(t, event);
+        }
+
+        let retries = world.config.aria.assign_max_retries as usize;
+        assert!(
+            drops > retries,
+            "the full retransmit ladder must have been exhausted (only {drops} drops)"
+        );
+        assert_eq!(max_attempt, retries as u32, "every retry attempt must have been armed");
+        assert_eq!(world.recovered_count(), 1, "the failsafe must recover the stranded job");
+        assert_eq!(world.metrics().completed_count(), 20, "no job may be stranded");
+        assert!(world.lost_jobs().is_empty());
+        assert!(world.abandoned_jobs().is_empty());
+        // No double-count: each record completed exactly once, and the
+        // full post-run audit holds.
+        assert_eq!(
+            world.metrics().records().values().filter(|r| r.is_completed()).count(),
+            20
+        );
+        world.check_invariants();
+    }
+
+    /// Repeatedly crashing nodes must keep the surviving overlay
+    /// connected: the self-healing re-link in `crash_node` (including its
+    /// `degree >= 2` orphan-skip branch) has to hold the alive subgraph
+    /// together all the way down to the 2-node refusal floor.
+    #[test]
+    fn repeated_crashes_keep_the_surviving_overlay_connected() {
+        let mut world = small_world(17);
+        let total = world.config.nodes;
+        for wave in 0..total as u64 {
+            world.crash_node(SimTime::from_mins(wave + 1));
+            let alive = world.alive_nodes();
+            assert_eq!(
+                alive_component_size(&world, &alive),
+                alive.len(),
+                "alive overlay split after crash wave {wave} ({} survivors)",
+                alive.len()
+            );
+        }
+        // The refusal floor: crashes stop at two survivors.
+        assert_eq!(world.alive_nodes().len(), 2);
+        assert_eq!(world.crashed_nodes().len(), total - 2);
+    }
+
+    /// Size of the connected component containing `alive[0]`, walking
+    /// only links between alive nodes.
+    fn alive_component_size(world: &World, alive: &[NodeId]) -> usize {
+        let mut seen = vec![false; world.topology.len()];
+        let mut stack = vec![alive[0]];
+        seen[alive[0].index()] = true;
+        let mut count = 0;
+        while let Some(n) = stack.pop() {
+            count += 1;
+            for &peer in world.topology.neighbors(n) {
+                if world.nodes[peer.index()].alive && !seen[peer.index()] {
+                    seen[peer.index()] = true;
+                    stack.push(peer);
+                }
+            }
+        }
+        count
     }
 }
 

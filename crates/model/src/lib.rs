@@ -374,9 +374,12 @@ impl Explorer {
             if node.drops_left > 0 {
                 actions.push(Action::Drop { to: d.to, msg: d.msg });
             }
-            if node.dups_left > 0
-                && matches!(d.msg, Message::Request { .. } | Message::Inform { .. })
-            {
+            if node.dups_left > 0 {
+                // Every message kind is duplicable: floods dedup via
+                // their visited sets, ACCEPT/ASSIGN/ACK exercise the
+                // idempotent handlers (a duplicated ASSIGN suppressing
+                // instead of double-enqueueing is exactly what the
+                // checker should be able to refute).
                 actions.push(Action::Duplicate { to: d.to, msg: d.msg });
             }
         }

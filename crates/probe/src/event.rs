@@ -43,6 +43,9 @@ pub enum MsgKind {
     Inform,
     /// ASSIGN delegation.
     Assign,
+    /// ACK delivery acknowledgement (fault-layer ASSIGN hardening;
+    /// schema v2).
+    Ack,
 }
 
 impl MsgKind {
@@ -53,6 +56,7 @@ impl MsgKind {
             MsgKind::Accept => "accept",
             MsgKind::Inform => "inform",
             MsgKind::Assign => "assign",
+            MsgKind::Ack => "ack",
         }
     }
 }
@@ -220,8 +224,8 @@ pub enum ProbeEvent {
         /// The lost job.
         job: JobId,
     },
-    /// A message addressed to a crashed node was dropped by the
-    /// transport.
+    /// A message addressed to a crashed node — or claimed by the fault
+    /// layer (loss, open partition cut) — was dropped by the transport.
     MessageDropped {
         /// Wire class of the dropped message.
         kind: MsgKind,
@@ -229,6 +233,46 @@ pub enum ProbeEvent {
         job: JobId,
         /// The unreachable destination.
         to: NodeId,
+    },
+    /// An unacknowledged ASSIGN was retransmitted by the fault-layer
+    /// hardening (schema v2).
+    AssignRetransmit {
+        /// The job whose ASSIGN went unacknowledged.
+        job: JobId,
+        /// The assignee being retried.
+        to: NodeId,
+        /// Retry attempt number (1 = first retransmit).
+        attempt: u32,
+    },
+    /// An assignee's ACK reached the assigner; the retransmit timer is
+    /// disarmed (schema v2).
+    AckReceived {
+        /// The acknowledged job.
+        job: JobId,
+        /// The acknowledging assignee.
+        from: NodeId,
+    },
+    /// A duplicate delivery was recognized and suppressed instead of
+    /// re-applied (schema v2). Flood duplicates keep reporting through
+    /// [`ProbeEvent::FloodHop`] `duplicate`; this covers the
+    /// point-to-point kinds.
+    DuplicateSuppressed {
+        /// Wire class of the suppressed duplicate.
+        kind: MsgKind,
+        /// The job the duplicate concerned.
+        job: JobId,
+        /// The node that suppressed it.
+        node: NodeId,
+    },
+    /// A scheduled overlay partition window opened (schema v2).
+    PartitionStarted {
+        /// Index of the window in the fault plan.
+        window: u32,
+    },
+    /// A scheduled overlay partition window healed (schema v2).
+    PartitionHealed {
+        /// Index of the window in the fault plan.
+        window: u32,
     },
     /// Periodic world sample: node occupancy and event-queue pressure.
     Gauge {
@@ -264,6 +308,11 @@ impl ProbeEvent {
             ProbeEvent::RecoveryStarted { .. } => "recovery-started",
             ProbeEvent::JobLost { .. } => "job-lost",
             ProbeEvent::MessageDropped { .. } => "message-dropped",
+            ProbeEvent::AssignRetransmit { .. } => "assign-retransmit",
+            ProbeEvent::AckReceived { .. } => "ack-received",
+            ProbeEvent::DuplicateSuppressed { .. } => "duplicate-suppressed",
+            ProbeEvent::PartitionStarted { .. } => "partition-started",
+            ProbeEvent::PartitionHealed { .. } => "partition-healed",
             ProbeEvent::Gauge { .. } => "gauge",
         }
     }
@@ -285,9 +334,14 @@ impl ProbeEvent {
             | ProbeEvent::InformRound { job, .. }
             | ProbeEvent::RecoveryStarted { job, .. }
             | ProbeEvent::JobLost { job }
-            | ProbeEvent::MessageDropped { job, .. } => Some(job),
+            | ProbeEvent::MessageDropped { job, .. }
+            | ProbeEvent::AssignRetransmit { job, .. }
+            | ProbeEvent::AckReceived { job, .. }
+            | ProbeEvent::DuplicateSuppressed { job, .. } => Some(job),
             ProbeEvent::NodeJoined { .. }
             | ProbeEvent::NodeCrashed { .. }
+            | ProbeEvent::PartitionStarted { .. }
+            | ProbeEvent::PartitionHealed { .. }
             | ProbeEvent::Gauge { .. } => None,
         }
     }
@@ -315,8 +369,15 @@ impl ProbeEvent {
             | ProbeEvent::NodeCrashed { node, .. } => Some(node),
             ProbeEvent::BidSent { from, .. } => Some(from),
             ProbeEvent::Assigned { by, .. } => Some(by),
-            ProbeEvent::MessageDropped { to, .. } => Some(to),
-            ProbeEvent::JobLost { .. } | ProbeEvent::Gauge { .. } => None,
+            ProbeEvent::MessageDropped { to, .. } | ProbeEvent::AssignRetransmit { to, .. } => {
+                Some(to)
+            }
+            ProbeEvent::AckReceived { from, .. } => Some(from),
+            ProbeEvent::DuplicateSuppressed { node, .. } => Some(node),
+            ProbeEvent::JobLost { .. }
+            | ProbeEvent::PartitionStarted { .. }
+            | ProbeEvent::PartitionHealed { .. }
+            | ProbeEvent::Gauge { .. } => None,
         }
     }
 }
@@ -379,7 +440,28 @@ impl fmt::Display for ProbeEvent {
             }
             ProbeEvent::JobLost { job } => write!(f, "{job} lost"),
             ProbeEvent::MessageDropped { kind, job, to } => {
-                write!(f, "{} for {job} dropped (dest {to} down)", kind.name().to_ascii_uppercase())
+                // Dead destination or lossy transport — the cause is the
+                // neighboring crash/fault event, not repeated here.
+                write!(f, "{} for {job} dropped on its way to {to}", kind.name().to_ascii_uppercase())
+            }
+            ProbeEvent::AssignRetransmit { job, to, attempt } => {
+                write!(f, "ASSIGN for {job} retransmitted to {to} (attempt {attempt})")
+            }
+            ProbeEvent::AckReceived { job, from } => {
+                write!(f, "ACK for {job} from {from}")
+            }
+            ProbeEvent::DuplicateSuppressed { kind, job, node } => {
+                write!(
+                    f,
+                    "duplicate {} for {job} suppressed at {node}",
+                    kind.name().to_ascii_uppercase()
+                )
+            }
+            ProbeEvent::PartitionStarted { window } => {
+                write!(f, "partition window {window} opened")
+            }
+            ProbeEvent::PartitionHealed { window } => {
+                write!(f, "partition window {window} healed")
             }
             ProbeEvent::Gauge { idle, queued, pending_events, peak_events } => {
                 write!(

@@ -12,11 +12,20 @@
 //! ## Version policy
 //!
 //! [`SCHEMA_VERSION`] is bumped on any breaking change (field renamed or
-//! removed, meaning changed, kind renamed). Purely additive changes —
-//! new event kinds, new fields — do *not* bump the version; readers must
-//! ignore unknown fields and may reject unknown kinds. Writers always
-//! stamp the current version; readers reject any other version rather
-//! than guessing.
+//! removed, meaning changed, kind renamed) and on additive changes that
+//! old readers would reject — readers ignore unknown *fields* but reject
+//! unknown *kinds*, so a new kind bumps the version too. Writers always
+//! stamp the current version; readers accept the current version and
+//! every earlier one (older traces only use older kinds), and reject
+//! newer versions rather than guessing.
+//!
+//! Version history:
+//!
+//! * **v1** — the original 18-kind catalog.
+//! * **v2** — adds the fault-layer kinds `assign-retransmit`,
+//!   `ack-received`, `duplicate-suppressed`, `partition-started`,
+//!   `partition-healed` and the `ack` message kind. v1 traces still
+//!   validate.
 //!
 //! The schema is deliberately integer/bool/string-only (sim-time in
 //! milliseconds, costs in scheduler-cost milliseconds) so traces diff
@@ -37,7 +46,7 @@ use std::fmt;
 pub const SCHEMA_NAME: &str = "aria-probe-trace";
 
 /// Current schema version; see the module docs for the bump policy.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A parse or validation failure, with the 1-based line it occurred on
 /// (line 0 = whole-file problems).
@@ -225,6 +234,23 @@ fn write_entry(out: &mut String, entry: &TraceEntry) {
             push_str(out, "msg_kind", kind.name());
             push_job(out, "job", job);
             push_node(out, "to", to);
+        }
+        ProbeEvent::AssignRetransmit { job, to, attempt } => {
+            push_job(out, "job", job);
+            push_node(out, "to", to);
+            push_u64(out, "attempt", u64::from(attempt));
+        }
+        ProbeEvent::AckReceived { job, from } => {
+            push_job(out, "job", job);
+            push_node(out, "from", from);
+        }
+        ProbeEvent::DuplicateSuppressed { kind, job, node } => {
+            push_str(out, "msg_kind", kind.name());
+            push_job(out, "job", job);
+            push_node(out, "node", node);
+        }
+        ProbeEvent::PartitionStarted { window } | ProbeEvent::PartitionHealed { window } => {
+            push_u64(out, "window", u64::from(window));
         }
         ProbeEvent::Gauge { idle, queued, pending_events, peak_events } => {
             push_u64(out, "idle", u64::from(idle));
@@ -490,6 +516,7 @@ impl Fields {
             "accept" => Ok(MsgKind::Accept),
             "inform" => Ok(MsgKind::Inform),
             "assign" => Ok(MsgKind::Assign),
+            "ack" => Ok(MsgKind::Ack),
             other => Err(err(self.line, format!("unknown msg_kind \"{other}\""))),
         }
     }
@@ -570,6 +597,19 @@ fn event_from_fields(f: &Fields) -> Result<ProbeEvent, SchemaError> {
             job: f.job("job")?,
             to: f.node("to")?,
         },
+        "assign-retransmit" => ProbeEvent::AssignRetransmit {
+            job: f.job("job")?,
+            to: f.node("to")?,
+            attempt: f.u32("attempt")?,
+        },
+        "ack-received" => ProbeEvent::AckReceived { job: f.job("job")?, from: f.node("from")? },
+        "duplicate-suppressed" => ProbeEvent::DuplicateSuppressed {
+            kind: f.msg_kind()?,
+            job: f.job("job")?,
+            node: f.node("node")?,
+        },
+        "partition-started" => ProbeEvent::PartitionStarted { window: f.u32("window")? },
+        "partition-healed" => ProbeEvent::PartitionHealed { window: f.u32("window")? },
         "gauge" => ProbeEvent::Gauge {
             idle: f.u32("idle")?,
             queued: f.u32("queued")?,
@@ -619,10 +659,10 @@ pub fn from_jsonl(text: &str) -> Result<Trace, SchemaError> {
         return Err(err(header_idx + 1, format!("unknown schema \"{schema}\"")));
     }
     let version = header.u64("version")?;
-    if version != SCHEMA_VERSION {
+    if !(1..=SCHEMA_VERSION).contains(&version) {
         return Err(err(
             header_idx + 1,
-            format!("unsupported schema version {version} (reader supports {SCHEMA_VERSION})"),
+            format!("unsupported schema version {version} (reader supports 1..={SCHEMA_VERSION})"),
         ));
     }
     let meta = TraceMeta {
@@ -728,9 +768,66 @@ mod tests {
     fn header_is_first_line_and_versioned() {
         let text = to_jsonl(&sample_trace());
         let header = text.lines().next().unwrap();
-        assert!(header.starts_with("{\"schema\":\"aria-probe-trace\",\"version\":1,"));
+        assert!(header.starts_with("{\"schema\":\"aria-probe-trace\",\"version\":2,"));
         assert!(header.contains("\"scenario\":\"iMixed\""));
         assert!(header.contains("\"events\":6"));
+    }
+
+    #[test]
+    fn v1_traces_still_validate() {
+        // The sample trace only uses v1 kinds; a v1-stamped file of it
+        // must keep parsing under the v2 reader.
+        let text = to_jsonl(&sample_trace()).replace("\"version\":2", "\"version\":1");
+        let back = from_jsonl(&text).expect("v1 trace rejected");
+        assert_eq!(back, sample_trace());
+    }
+
+    #[test]
+    fn v2_fault_kinds_roundtrip() {
+        let job = JobId::new(3);
+        let entries = vec![
+            TraceEntry {
+                seq: 0,
+                at: SimTime::from_secs(10),
+                event: ProbeEvent::PartitionStarted { window: 0 },
+            },
+            TraceEntry {
+                seq: 1,
+                at: SimTime::from_secs(11),
+                event: ProbeEvent::MessageDropped { kind: MsgKind::Ack, job, to: NodeId::new(4) },
+            },
+            TraceEntry {
+                seq: 2,
+                at: SimTime::from_secs(12),
+                event: ProbeEvent::AssignRetransmit { job, to: NodeId::new(4), attempt: 1 },
+            },
+            TraceEntry {
+                seq: 3,
+                at: SimTime::from_secs(13),
+                event: ProbeEvent::DuplicateSuppressed {
+                    kind: MsgKind::Assign,
+                    job,
+                    node: NodeId::new(4),
+                },
+            },
+            TraceEntry {
+                seq: 4,
+                at: SimTime::from_secs(14),
+                event: ProbeEvent::AckReceived { job, from: NodeId::new(4) },
+            },
+            TraceEntry {
+                seq: 5,
+                at: SimTime::from_secs(15),
+                event: ProbeEvent::PartitionHealed { window: 0 },
+            },
+        ];
+        let trace = Trace {
+            meta: TraceMeta { scenario: "chaos".to_string(), seed: 7, nodes: 10, jobs: 1 },
+            dropped: 0,
+            entries,
+        };
+        let back = from_jsonl(&to_jsonl(&trace)).expect("parse");
+        assert_eq!(back, trace);
     }
 
     #[test]
@@ -745,7 +842,12 @@ mod tests {
 
     #[test]
     fn version_mismatch_is_rejected() {
-        let text = to_jsonl(&sample_trace()).replace("\"version\":1", "\"version\":99");
+        // Future versions are rejected (the reader will not guess)...
+        let text = to_jsonl(&sample_trace()).replace("\"version\":2", "\"version\":99");
+        let e = from_jsonl(&text).unwrap_err();
+        assert!(e.message.contains("unsupported schema version"), "{e}");
+        // ...and so is the nonsense version 0.
+        let text = to_jsonl(&sample_trace()).replace("\"version\":2", "\"version\":0");
         let e = from_jsonl(&text).unwrap_err();
         assert!(e.message.contains("unsupported schema version"), "{e}");
     }

@@ -37,7 +37,9 @@ pub mod catalog;
 pub mod figures;
 pub mod plot;
 pub mod runner;
+pub mod sweep;
 
 pub use catalog::Scenario;
 pub use figures::Campaign;
 pub use runner::{Runner, RunStats, ScenarioResult};
+pub use sweep::{loss_sweep, SweepPoint};

@@ -284,7 +284,24 @@ impl Runner {
         checked: bool,
         probe: P,
     ) -> (RunStats, World<P>) {
+        self.run_once_faulted(scenario, seed, aria_core::FaultPlan::none(), checked, probe)
+    }
+
+    /// Like [`Runner::run_once_instrumented`], but runs the scenario
+    /// over a lossy transport: `fault` replaces the scenario's (always
+    /// reliable) [`aria_core::FaultPlan`]. With [`aria_core::FaultPlan::none`]
+    /// this is exactly `run_once_instrumented` — the robustness
+    /// campaigns in [`crate::sweep`] build on this entry point.
+    pub fn run_once_faulted<P: Probe>(
+        &self,
+        scenario: Scenario,
+        seed: u64,
+        fault: aria_core::FaultPlan,
+        checked: bool,
+        probe: P,
+    ) -> (RunStats, World<P>) {
         let mut config = scenario.world_config();
+        config.fault = fault;
         if let Some(nodes) = self.nodes {
             let shrink = nodes as f64 / config.nodes as f64;
             config.nodes = nodes;

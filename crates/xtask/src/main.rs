@@ -14,6 +14,10 @@
 //! * `probe` — run scenarios with the observability probe attached and
 //!   inspect or diff the exported traces (see [`probe`] and
 //!   `crates/probe`).
+//! * `chaos` — randomized transport-fault schedules (loss, duplicates,
+//!   jitter, partitions) under full invariant auditing plus a
+//!   job-conservation oracle, shrinking any failing schedule to a
+//!   minimal replayable fault list (see [`chaos`] and DESIGN.md §11).
 //!
 //! ```text
 //! cargo xtask lint                  # gate the workspace
@@ -23,11 +27,14 @@
 //! cargo xtask explore --self-check  # prove the checker still catches violations
 //! cargo xtask probe run --scenario iMixed --scale 40 80 --out t.jsonl
 //! cargo xtask probe diff a.jsonl b.jsonl
+//! cargo xtask chaos --schedules 20  # randomized fault schedules, audited
+//! cargo xtask chaos --self-check    # prove the shrinker on a planted violation
 //! ```
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+mod chaos;
 mod explore;
 mod probe;
 mod rules;
@@ -69,9 +76,11 @@ fn main() -> ExitCode {
         }
         Some("explore") => explore::run(&args[1..]),
         Some("probe") => probe::run(&args[1..]),
+        Some("chaos") => chaos::run(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo xtask <lint [--self-check|--list] | explore [flags] | probe <cmd>>"
+                "usage: cargo xtask <lint [--self-check|--list] | explore [flags] | probe <cmd> \
+                 | chaos [flags]>"
             );
             ExitCode::FAILURE
         }

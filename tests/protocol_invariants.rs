@@ -1,7 +1,7 @@
 //! Property-based integration tests: protocol safety invariants that must
 //! hold for *any* workload and seed.
 
-use aria_core::{AriaConfig, PolicyMix, World, WorldConfig};
+use aria_core::{AriaConfig, FaultPlan, PartitionWindow, PolicyMix, World, WorldConfig};
 use aria_grid::Policy;
 use aria_metrics::TrafficClass;
 use aria_overlay::NodeId;
@@ -200,6 +200,74 @@ proptest! {
         world.run();
         prop_assert_eq!(world.metrics().completed_count(), 30);
         prop_assert_eq!(world.metrics().reschedule_summary().sum(), 0.0);
+    }
+
+    /// Lossy-transport conservation: for any loss rate up to 50%,
+    /// arbitrary duplicate/jitter noise and arbitrary partition windows,
+    /// every submitted job ends in exactly one terminal column — and
+    /// every protocol invariant holds after every single event (the run
+    /// is fully audited, not just sampled).
+    #[test]
+    fn fault_conservation_is_exhaustive(
+        seed in 0u64..1000,
+        loss in 0.0f64..0.5,
+        duplicate in 0.0f64..0.25,
+        jitter_ms in 0u64..1500,
+        windows in 0usize..3,
+        first_cut_mins in 5u64..240,
+        cut_mins in 1u64..45,
+        failsafe in any::<bool>(),
+    ) {
+        let mut config = WorldConfig::small_test(25);
+        config.failsafe = failsafe;
+        config.fault = FaultPlan {
+            loss,
+            duplicate,
+            jitter_ms,
+            partitions: (0..windows as u64)
+                .map(|i| PartitionWindow {
+                    start: SimTime::from_mins(first_cut_mins + 90 * i),
+                    duration: SimDuration::from_mins(cut_mins),
+                })
+                .collect(),
+            keep: None,
+        };
+        let mut world = World::new(config, seed);
+        let mut jobs = JobGenerator::new(JobGeneratorConfig::paper_batch());
+        let schedule =
+            SubmissionSchedule::new(SimTime::from_mins(2), SimDuration::from_secs(45), 15);
+        world.submit_schedule(&schedule, &mut jobs);
+        let audit = world.run_audited();
+        prop_assert!(audit.is_ok(), "invariant violated under faults: {:?}", audit);
+        let completed = world.metrics().completed_count() as usize;
+        let lost = world.lost_jobs().len();
+        let abandoned = world.abandoned_jobs().len();
+        prop_assert_eq!(completed + lost + abandoned, 15,
+            "completed={} lost={} abandoned={}", completed, lost, abandoned);
+        let record_completed =
+            world.metrics().records().values().filter(|r| r.is_completed()).count();
+        prop_assert_eq!(record_completed, completed, "a job completed twice");
+    }
+
+    /// Graceful degradation: with the failsafe on, loss up to 10% must
+    /// not lose a single job — the ACK/retransmit ladder plus the
+    /// fallback-offer and failsafe layers absorb every dropped ASSIGN.
+    #[test]
+    fn moderate_loss_never_loses_jobs(
+        seed in 0u64..1000,
+        loss in 0.0f64..0.10,
+    ) {
+        let mut config = WorldConfig::small_test(30);
+        config.fault = FaultPlan { loss, ..FaultPlan::none() };
+        let mut world = World::new(config, seed);
+        let mut jobs = JobGenerator::new(JobGeneratorConfig::paper_batch());
+        let schedule =
+            SubmissionSchedule::new(SimTime::from_mins(2), SimDuration::from_secs(30), 20);
+        world.submit_schedule(&schedule, &mut jobs);
+        world.run();
+        prop_assert_eq!(world.lost_jobs().len(), 0, "moderate loss lost a job");
+        prop_assert_eq!(world.metrics().completed_count(), 20,
+            "moderate loss must still complete the whole workload");
     }
 
     /// Gauge consistency: idle-node counts never exceed the node count,
