@@ -1,0 +1,213 @@
+//! Scale benchmark harness: events/sec and peak RSS at 5k/50k/500k
+//! nodes, written to `BENCH_scale.json`.
+//!
+//! Each tier runs a mixed-policy world with dynamic rescheduling (the
+//! iMixed protocol setting) over a `random-regular(4)` overlay — the
+//! O(n·d) builder, because the BLATANT-S convergence loop is superlinear
+//! in `n` and stops being tractable past a few thousand nodes (see
+//! DESIGN.md §12). Job counts shrink as tiers grow so a tier measures
+//! protocol throughput, not submission volume.
+//!
+//! Peak RSS is a *process-wide* high-water mark (`VmHWM` in
+//! `/proc/self/status`), so the driver runs every tier in its own child
+//! process; a tier that dies or exceeds its time budget is reported as
+//! failed instead of sinking the whole run.
+//!
+//! ```text
+//! cargo run --release -p aria-bench --bin bench_scale            # all tiers -> BENCH_scale.json
+//! cargo run --release -p aria-bench --bin bench_scale -- --tier 5000   # one tier, JSON to stdout
+//! cargo run --release -p aria-bench --bin bench_scale -- \
+//!     --tier 5000 --min-events-per-sec 500000 --max-peak-rss-mb 2048   # CI smoke gate
+//! ```
+
+// Measuring wall time and spawning timed subprocesses is this harness's
+// entire purpose; the workspace determinism ban on `Instant` (clippy.toml,
+// mirrored by `cargo xtask lint`) deliberately does not apply here.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
+use aria_core::{OverlayKind, World, WorldConfig};
+use aria_sim::{SimDuration, SimTime};
+use aria_workload::{JobGenerator, SubmissionSchedule};
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 1;
+const TIERS: &[usize] = &[5_000, 50_000, 500_000];
+/// Wall-clock budget per tier before the driver kills the child and
+/// reports the tier as failed (the 500k tier is an *attempt* by design).
+const TIER_TIMEOUT: Duration = Duration::from_secs(1500);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match flag_value(&args, "--tier") {
+        Some(nodes) => run_tier(nodes, &args),
+        None => run_driver(&args),
+    }
+}
+
+/// `--flag N` lookup; panics on a malformed value.
+fn flag_value(args: &[String], flag: &str) -> Option<usize> {
+    let at = args.iter().position(|a| a == flag)?;
+    let raw = args.get(at + 1).unwrap_or_else(|| panic!("{flag} needs a value"));
+    Some(raw.parse().unwrap_or_else(|_| panic!("{flag} value {raw:?} is not a number")))
+}
+
+/// Jobs submitted at a tier: enough to load the grid, scaled down as
+/// floods get bigger (a saturating REQUEST flood costs O(min(N, fanout ·
+/// branching^hops)) messages, so events/job grows with N).
+fn tier_jobs(nodes: usize) -> usize {
+    match nodes {
+        n if n <= 5_000 => 2_000,
+        n if n <= 50_000 => 1_000,
+        _ => 200,
+    }
+}
+
+/// The world a tier runs: paper protocol parameters, mixed FCFS/SJF
+/// policies, rescheduling on, 12h horizon, scalable overlay.
+fn tier_config(nodes: usize) -> WorldConfig {
+    WorldConfig {
+        nodes,
+        overlay: OverlayKind::RandomRegular { degree: 4 },
+        horizon: SimTime::from_hours(12),
+        ..WorldConfig::paper_baseline()
+    }
+}
+
+/// Worker mode: one tier in this process, a single JSON object to
+/// stdout, progress to stderr. Exits non-zero if a `--min-events-per-sec`
+/// floor or `--max-peak-rss-mb` ceiling (the CI smoke gate) is violated.
+fn run_tier(nodes: usize, args: &[String]) {
+    let jobs = tier_jobs(nodes);
+    eprintln!("bench_scale: tier {nodes} nodes, {jobs} jobs, seed {SEED}");
+    let build_start = Instant::now();
+    let mut world = World::new(tier_config(nodes), SEED);
+    let build_secs = build_start.elapsed().as_secs_f64();
+    let schedule = SubmissionSchedule::new(SimTime::from_mins(1), SimDuration::from_secs(10), jobs);
+    let mut generator = JobGenerator::paper_batch();
+    world.submit_schedule(&schedule, &mut generator);
+
+    let run_start = Instant::now();
+    world.run();
+    let run_secs = run_start.elapsed().as_secs_f64();
+
+    let events = world.processed_events();
+    let eps = events as f64 / run_secs;
+    let (flood_slots, spilled) = world.flood_stats();
+    let completed = world.metrics().completed_count();
+    let messages = world.metrics().traffic().total_messages();
+    let peak_rss_kb = peak_rss_kb();
+    let json = format!(
+        "{{ \"nodes\": {nodes}, \"jobs\": {jobs}, \"overlay\": \"random-regular-4\", \
+         \"horizon_hours\": 12, \"build_secs\": {build_secs:.3}, \"run_secs\": {run_secs:.3}, \
+         \"events\": {events}, \"events_per_sec\": {eps:.0}, \"completed\": {completed}, \
+         \"messages\": {messages}, \"flood_slots\": {flood_slots}, \
+         \"spilled_flood_slots\": {spilled}, \"peak_rss_mb\": {rss:.1} }}",
+        rss = peak_rss_kb as f64 / 1024.0,
+    );
+    println!("{json}");
+    eprintln!(
+        "bench_scale: tier {nodes}: {events} events in {run_secs:.1}s ({eps:.0}/s), \
+         peak RSS {:.0} MB, {flood_slots} flood slot(s), {spilled} spilled",
+        peak_rss_kb as f64 / 1024.0
+    );
+
+    let mut violations = 0;
+    if let Some(floor) = flag_value(args, "--min-events-per-sec") {
+        if eps < floor as f64 {
+            eprintln!("bench_scale: FAIL {eps:.0} events/s under the {floor} floor");
+            violations += 1;
+        }
+    }
+    if let Some(ceiling) = flag_value(args, "--max-peak-rss-mb") {
+        if peak_rss_kb > ceiling as u64 * 1024 {
+            eprintln!(
+                "bench_scale: FAIL peak RSS {:.0} MB over the {ceiling} MB ceiling",
+                peak_rss_kb as f64 / 1024.0
+            );
+            violations += 1;
+        }
+    }
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Driver mode: every tier in a fresh child process (per-tier `VmHWM`),
+/// results assembled into one JSON report.
+fn run_driver(args: &[String]) {
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut tiers = Vec::new();
+    for &nodes in TIERS {
+        match run_tier_process(&exe, nodes) {
+            Ok(line) => tiers.push(format!("    {line}")),
+            Err(reason) => {
+                eprintln!("bench_scale: tier {nodes} failed: {reason}");
+                tiers.push(format!(
+                    "    {{ \"nodes\": {nodes}, \"jobs\": {}, \"failed\": \"{reason}\" }}",
+                    tier_jobs(nodes)
+                ));
+            }
+        }
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"bench_scale\",\n  \"seed\": {SEED},\n  \
+         \"tier_timeout_secs\": {},\n  \"tiers\": [\n{}\n  ]\n}}\n",
+        TIER_TIMEOUT.as_secs(),
+        tiers.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    eprintln!("bench_scale: report -> {out_path}");
+    print!("{json}");
+}
+
+/// Runs one tier as a child process under the tier time budget; returns
+/// the tier's JSON line from its stdout.
+fn run_tier_process(exe: &std::path::Path, nodes: usize) -> Result<String, String> {
+    let mut child = std::process::Command::new(exe)
+        .arg("--tier")
+        .arg(nodes.to_string())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn: {e}"))?;
+    let start = Instant::now();
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) if status.success() => break,
+            Ok(Some(status)) => return Err(format!("exit status {status}")),
+            Ok(None) if start.elapsed() > TIER_TIMEOUT => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(format!("timed out after {}s", TIER_TIMEOUT.as_secs()));
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(200)),
+            Err(e) => return Err(format!("wait: {e}")),
+        }
+    }
+    let mut out = String::new();
+    use std::io::Read as _;
+    child
+        .stdout
+        .take()
+        .expect("piped stdout")
+        .read_to_string(&mut out)
+        .map_err(|e| format!("read stdout: {e}"))?;
+    let line = out.lines().find(|l| l.trim_start().starts_with('{'));
+    line.map(str::to_string).ok_or_else(|| "no JSON line on stdout".to_string())
+}
+
+/// This process's peak resident set (`VmHWM`) in kB, from
+/// `/proc/self/status`; 0 when unavailable (non-Linux).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches(" kB").trim().parse().unwrap_or(0);
+        }
+    }
+    0
+}

@@ -13,67 +13,23 @@
 //!   look the payload up on delivery.
 //! * [`FloodTable`] — one slot per *active* flood, recycled through a
 //!   free-list the moment a flood's last in-flight message lands, so a
-//!   whole run reuses a handful of slots (and their visited bitsets).
-//! * [`NodeBitset`] — a fixed-width bitset over node indices replacing the
-//!   per-flood `HashSet<NodeId>`; clearing for reuse is a word-fill, and
-//!   membership tests in the forwarding loop are single bit probes.
+//!   whole run reuses a handful of slots (and their visited sets).
+//! * [`VisitedSet`] (in [`crate::visited`]) — a tiered set over node
+//!   indices replacing the per-flood `HashSet<NodeId>`: an inline sorted
+//!   small-set for the common few-dozen-hop flood, spilling to a bitset
+//!   past a threshold so per-live-flood memory is O(reach), not O(N).
 
 use crate::msg::FloodId;
+use crate::visited::VisitedSet;
 use aria_grid::{Cost, JobId, JobSpec};
 use aria_overlay::NodeId;
-
-/// A bitset over node indices, sized in 64-bit words.
-///
-/// Out-of-range queries answer `false` and out-of-range inserts grow the
-/// set, so floods opened before an overlay join keep working after it.
-#[derive(Debug, Default, Clone)]
-pub(crate) struct NodeBitset {
-    words: Vec<u64>,
-}
-
-impl NodeBitset {
-    /// An empty set with capacity for `nodes` indices.
-    pub fn with_capacity(nodes: usize) -> Self {
-        NodeBitset { words: vec![0; nodes.div_ceil(64)] }
-    }
-
-    /// Whether `node` is in the set.
-    pub fn contains(&self, node: NodeId) -> bool {
-        let index = node.index();
-        self.words.get(index / 64).is_some_and(|w| w & (1 << (index % 64)) != 0)
-    }
-
-    /// Inserts `node`, growing the set if needed. Returns `false` if the
-    /// node was already present.
-    pub fn insert(&mut self, node: NodeId) -> bool {
-        let index = node.index();
-        if index / 64 >= self.words.len() {
-            self.words.resize(index / 64 + 1, 0);
-        }
-        let word = &mut self.words[index / 64];
-        let bit = 1 << (index % 64);
-        let fresh = *word & bit == 0;
-        *word |= bit;
-        fresh
-    }
-
-    /// Empties the set, keeping its capacity (constant-time per word).
-    pub fn clear(&mut self) {
-        self.words.fill(0);
-    }
-
-    /// Whether the set contains no nodes at all.
-    pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
-    }
-}
 
 /// Book-keeping for one active flood: duplicate suppression plus the
 /// in-flight message count that decides when the slot can be recycled.
 #[derive(Debug, Default, Clone)]
 pub(crate) struct FloodSlot {
     /// Nodes this flood has already reached (selective flooding, \[28\]).
-    pub visited: NodeBitset,
+    pub visited: VisitedSet,
     /// Messages of this flood currently in flight.
     pub in_flight: u32,
 }
@@ -97,14 +53,16 @@ impl FloodTable {
         let id = match self.free.pop() {
             Some(id) => {
                 let slot = &mut self.slots[id as usize];
-                slot.visited.clear();
+                // Re-arm for the *current* world: a recycled slot must not
+                // keep its pre-join capacity and re-grow word by word.
+                slot.visited.reset(nodes);
                 debug_assert_eq!(slot.in_flight, 0, "recycled flood still in flight");
                 id
             }
             None => {
                 let id = u32::try_from(self.slots.len()).expect("fewer than 2^32 live floods");
                 self.slots.push(FloodSlot {
-                    visited: NodeBitset::with_capacity(nodes),
+                    visited: VisitedSet::with_capacity(nodes),
                     in_flight: 0,
                 });
                 id
@@ -135,6 +93,14 @@ impl FloodTable {
     #[cfg(test)]
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Diagnostics for the scale bench: `(slots ever allocated, slots
+    /// whose visited set ever spilled to the bitset tier)`. The first
+    /// bounds live-flood book-keeping; the second bounds its memory.
+    pub fn stats(&self) -> (usize, usize) {
+        let spilled = self.slots.iter().filter(|s| s.visited.is_spilled()).count();
+        (self.slots.len(), spilled)
     }
 
     /// Iterates over every slot ever allocated, live or recycled, with
@@ -283,45 +249,6 @@ mod tests {
     }
 
     #[test]
-    fn bitset_inserts_and_contains() {
-        let mut set = NodeBitset::with_capacity(100);
-        assert!(!set.contains(NodeId::new(3)));
-        assert!(set.insert(NodeId::new(3)));
-        assert!(set.contains(NodeId::new(3)));
-        assert!(set.insert(NodeId::new(64))); // second word
-        assert!(set.contains(NodeId::new(64)));
-        assert!(!set.contains(NodeId::new(65)));
-    }
-
-    #[test]
-    fn bitset_double_visit_is_reported() {
-        let mut set = NodeBitset::with_capacity(10);
-        assert!(set.insert(NodeId::new(7)));
-        assert!(!set.insert(NodeId::new(7)), "second insert must report a duplicate");
-        assert!(set.contains(NodeId::new(7)));
-    }
-
-    #[test]
-    fn bitset_out_of_range_is_absent_and_insert_grows() {
-        let mut set = NodeBitset::with_capacity(10);
-        // Beyond capacity: contains answers false rather than panicking
-        // (floods opened before an overlay join see the new node ids).
-        assert!(!set.contains(NodeId::new(1000)));
-        assert!(set.insert(NodeId::new(1000)));
-        assert!(set.contains(NodeId::new(1000)));
-        assert!(!set.contains(NodeId::new(999)));
-    }
-
-    #[test]
-    fn bitset_clear_keeps_capacity() {
-        let mut set = NodeBitset::with_capacity(128);
-        set.insert(NodeId::new(90));
-        set.clear();
-        assert!(!set.contains(NodeId::new(90)));
-        assert!(set.insert(NodeId::new(90)));
-    }
-
-    #[test]
     fn flood_slots_are_recycled_through_the_free_list() {
         let mut floods = FloodTable::default();
         let a = floods.alloc(NodeId::new(0), 50);
@@ -338,13 +265,28 @@ mod tests {
     }
 
     #[test]
-    fn bitset_is_empty_tracks_contents() {
-        let mut set = NodeBitset::with_capacity(100);
-        assert!(set.is_empty());
-        set.insert(NodeId::new(64)); // a high word alone must count
-        assert!(!set.is_empty());
-        set.clear();
-        assert!(set.is_empty());
+    fn recycled_flood_slots_are_resized_to_the_current_world() {
+        // Regression: a slot whose visited set spilled at a 64-node world
+        // used to keep that capacity across recycling, re-growing word by
+        // word after overlay joins. `alloc` must re-arm it to the current
+        // node count up front.
+        let mut floods = FloodTable::default();
+        let id = floods.alloc(NodeId::new(0), 64);
+        for i in 0..crate::visited::SMALL_CAP as u32 + 1 {
+            floods.get_mut(id).visited.insert(NodeId::new(i));
+        }
+        assert_eq!(floods.get(id).visited.spill_capacity(), 64);
+        floods.release(id);
+        // The world grew to 256 nodes before the slot is reused.
+        let recycled = floods.alloc(NodeId::new(1), 256);
+        assert_eq!(recycled, id);
+        assert_eq!(
+            floods.get(recycled).visited.spill_capacity(),
+            256,
+            "recycled slot must be sized to the current world at alloc time"
+        );
+        assert!(!floods.get(recycled).visited.contains(NodeId::new(0)));
+        assert!(floods.get(recycled).visited.contains(NodeId::new(1)));
     }
 
     #[test]

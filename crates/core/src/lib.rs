@@ -78,6 +78,7 @@ pub mod fault;
 pub mod msg;
 pub mod multireq;
 pub mod net;
+mod visited;
 pub mod world;
 
 pub use central::CentralScheduler;

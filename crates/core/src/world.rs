@@ -164,6 +164,18 @@ pub struct World<P: Probe = NullProbe> {
     /// Events handled so far (drives throughput reporting in the bench
     /// harness).
     pub(crate) processed: u64,
+    /// The alive nodes, ascending by id, maintained incrementally by
+    /// `join_node`/`crash_node` so candidate rebuilds and gauge samples
+    /// never walk all N nodes. Invariant (audited): exactly the nodes
+    /// with `NodeState::alive`, sorted, no duplicates.
+    pub(crate) alive: Vec<NodeId>,
+    /// How many alive nodes are idle (no running job, empty waiting
+    /// list), maintained at every queue transition; equals the full scan
+    /// the per-sample gauge used to do.
+    pub(crate) idle_alive: usize,
+    /// Total waiting jobs across alive nodes, maintained at every queue
+    /// transition (the other half of the per-sample gauge scan).
+    pub(crate) queued_alive: u64,
     /// Scratch buffer for fan-out candidate lists (hot path; reused so
     /// flood forwarding never allocates).
     pub(crate) candidates: Vec<NodeId>,
@@ -248,6 +260,9 @@ impl<P: Probe> World<P> {
             events.schedule(window.start, Event::PartitionStart { window: i as u32 });
             events.schedule(window.end(), Event::PartitionEnd { window: i as u32 });
         }
+        // Every node starts alive and idle with an empty waiting list.
+        let alive: Vec<NodeId> = (0..nodes.len() as u32).map(NodeId::new).collect();
+        let idle_alive = nodes.len();
         let mut world = World {
             config,
             topology,
@@ -263,6 +278,9 @@ impl<P: Probe> World<P> {
             lost: Vec::new(),
             recovered: 0,
             processed: 0,
+            alive,
+            idle_alive,
+            queued_alive: 0,
             candidates: Vec::new(),
             picked: Vec::new(),
             fault_active,
@@ -473,6 +491,13 @@ impl<P: Probe> World<P> {
         self.processed
     }
 
+    /// Flood-table diagnostics: `(slots ever allocated, slots whose
+    /// visited set ever spilled past the inline tier)`. The scale bench
+    /// reports both to show live-flood memory stays O(reach), not O(N).
+    pub fn flood_stats(&self) -> (usize, usize) {
+        self.floods.stats()
+    }
+
     // --- protocol state-machine auditing ---------------------------------------
 
     /// Audits the complete protocol state machine, panicking on the first
@@ -542,8 +567,13 @@ impl<P: Probe> World<P> {
             self.events.clamped_count()
         );
 
-        // Queue integrity; collect who holds which job.
+        // Queue integrity; collect who holds which job, and recount the
+        // incrementally maintained alive index and gauge counters against
+        // the ground truth this loop walks anyway.
         let mut held: BTreeMap<JobId, NodeId> = BTreeMap::new();
+        let mut alive_recount: Vec<NodeId> = Vec::new();
+        let mut idle_recount = 0usize;
+        let mut queued_recount = 0u64;
         for (i, state) in self.nodes.iter().enumerate() {
             let node = NodeId::new(i as u32);
             state.queue.validate();
@@ -554,6 +584,9 @@ impl<P: Probe> World<P> {
                 );
                 continue;
             }
+            alive_recount.push(node);
+            idle_recount += usize::from(state.queue.is_idle());
+            queued_recount += state.queue.waiting_len() as u64;
             let running = state.queue.running().map(|r| r.spec.id);
             for id in state.queue.waiting().iter().map(|j| j.spec.id).chain(running) {
                 if let Some(elsewhere) = held.insert(id, node) {
@@ -561,6 +594,24 @@ impl<P: Probe> World<P> {
                 }
             }
         }
+        ensure!(
+            self.alive == alive_recount,
+            "invariant: alive index ({} node(s)) disagrees with node flags ({} alive)",
+            self.alive.len(),
+            alive_recount.len()
+        );
+        ensure!(
+            self.idle_alive == idle_recount,
+            "invariant: idle gauge counts {} but {} alive node(s) are idle",
+            self.idle_alive,
+            idle_recount
+        );
+        ensure!(
+            self.queued_alive == queued_recount,
+            "invariant: queued gauge counts {} but {} job(s) are waiting on alive nodes",
+            self.queued_alive,
+            queued_recount
+        );
 
         // Pending-event census: per-flood in-flight counts, open accept
         // windows, and jobs kept alive by an in-flight event.
@@ -792,8 +843,11 @@ impl<P: Probe> World<P> {
             flood,
         };
         self.candidates.clear();
-        for n in self.topology.nodes() {
-            if n != initiator && self.nodes[n.index()].alive {
+        // The alive index walks only live nodes (ascending, like the old
+        // full topology scan, so the fan-out draws are bit-identical).
+        for i in 0..self.alive.len() {
+            let n = self.alive[i];
+            if n != initiator {
                 self.candidates.push(n);
             }
         }
@@ -1073,6 +1127,10 @@ impl<P: Probe> World<P> {
             return; // conditions changed; the move no longer pays off
         }
         node.queue.remove_waiting(job).expect("cost_of_waiting implies waiting");
+        // Gauge upkeep: `to` is alive (it received the offer) and just
+        // gave up a waiting job, possibly going idle.
+        self.queued_alive -= 1;
+        self.idle_alive += usize::from(self.nodes[to.index()].queue.is_idle());
         let initiator = self.jobs.slot(job).initiator.unwrap_or(to);
         self.metrics.job_assigned(job, now, true);
         self.probe.record(now, ProbeEvent::Assigned { job, by: to, to: from, reschedule: true });
@@ -1248,6 +1306,10 @@ impl<P: Probe> World<P> {
         let spec = self.jobs.spec(job);
         let state = &mut self.nodes[node.index()];
         let profile = state.profile;
+        // Gauge upkeep (callers guarantee `node` is alive): the job lands
+        // waiting, and an idle node stops being idle.
+        self.idle_alive -= usize::from(state.queue.is_idle());
+        self.queued_alive += 1;
         state.queue.enqueue(spec, now, &profile);
         let depth = state.queue.waiting_len() as u32;
         self.probe.record(now, ProbeEvent::Enqueued { job, node, depth });
@@ -1264,6 +1326,9 @@ impl<P: Probe> World<P> {
             }
             return;
         };
+        // Gauge upkeep: a waiting job became the running one. The node
+        // was not idle before (non-empty waiting list) and is not now.
+        self.queued_alive -= 1;
         let spec = running.spec;
         let ertp = running.expected_end.saturating_since(running.started_at);
         let art = self.config.art.actual_running_time(spec.ert, ertp, &mut self.rng);
@@ -1278,6 +1343,9 @@ impl<P: Probe> World<P> {
         }
         let state = &mut self.nodes[node.index()];
         let finished = state.queue.complete_running().expect("completion event for running job");
+        // Gauge upkeep: the node goes idle unless more work is waiting
+        // (in which case `try_start` below promotes it immediately).
+        self.idle_alive += usize::from(state.queue.is_idle());
         debug_assert_eq!(finished.spec.id, job, "completion event job mismatch");
         self.metrics.job_completed(job, now);
         self.probe.record(now, ProbeEvent::Completed { job, node });
@@ -1355,6 +1423,11 @@ impl<P: Probe> World<P> {
             alive: true,
         });
         debug_assert_eq!(self.nodes.len(), self.topology.len());
+        // Index upkeep: the joiner gets the next id, so appending keeps
+        // the alive index sorted; it starts idle with an empty queue.
+        debug_assert!(self.alive.last().is_none_or(|&last| last < id));
+        self.alive.push(id);
+        self.idle_alive += 1;
         self.probe.record(now, ProbeEvent::NodeJoined { node: id });
         if self.config.aria.rescheduling && now <= self.config.horizon {
             self.schedule_first_inform_tick(id);
@@ -1363,34 +1436,37 @@ impl<P: Probe> World<P> {
 
     // --- failure injection & failsafe recovery (§III-D) ----------------------------
 
-    /// All currently alive nodes (cold path; the hot submission path
-    /// uses [`World::fill_alive_candidates`] instead).
+    /// All currently alive nodes, ascending (a copy of the maintained
+    /// index; the hot submission path uses
+    /// [`World::fill_alive_candidates`] instead).
+    #[cfg(test)]
     fn alive_nodes(&self) -> Vec<NodeId> {
-        self.topology.nodes().filter(|n| self.nodes[n.index()].alive).collect()
+        self.alive.clone()
     }
 
     /// Fills the scratch candidate buffer with all alive nodes, in the
     /// same order `alive_nodes` produces them.
     fn fill_alive_candidates(&mut self) {
         self.candidates.clear();
-        for n in self.topology.nodes() {
-            if self.nodes[n.index()].alive {
-                self.candidates.push(n);
-            }
-        }
+        self.candidates.extend_from_slice(&self.alive);
     }
 
     /// Crashes one random alive node: its links vanish, its waiting and
     /// running jobs are lost, and (with the failsafe armed) the jobs'
     /// initiators rediscover them after the detection delay.
     fn crash_node(&mut self, now: SimTime) {
-        let alive = self.alive_nodes();
-        if alive.len() <= 2 {
+        if self.alive.len() <= 2 {
             return; // refuse to kill a grid that small
         }
-        let victim = *self.rng.choose(&alive);
+        let victim = *self.rng.choose(&self.alive);
         self.nodes[victim.index()].alive = false;
         self.crashed.push(victim);
+        // Index and gauge upkeep, before the queue is drained below: the
+        // victim's idle state and waiting jobs leave the alive totals.
+        let slot = self.alive.binary_search(&victim).expect("victim was in the alive index");
+        self.alive.remove(slot);
+        self.idle_alive -= usize::from(self.nodes[victim.index()].queue.is_idle());
+        self.queued_alive -= self.nodes[victim.index()].queue.waiting_len() as u64;
 
         // The victim's links disappear with it.
         let neighbors: Vec<NodeId> = self.topology.neighbors(victim).to_vec();
@@ -1399,18 +1475,17 @@ impl<P: Probe> World<P> {
         }
         // Overlay self-healing (BLATANT-S maintenance, abstracted): alive
         // neighbors that lost their redundancy re-link to random peers.
+        // The alive index yields the same ascending candidate order the
+        // old full topology scan did, so the re-link draws are unchanged.
         for &orphan in &neighbors {
             if !self.nodes[orphan.index()].alive || self.topology.degree(orphan) >= 2 {
                 continue;
             }
             let candidates: Vec<NodeId> = self
-                .topology
-                .nodes()
-                .filter(|&n| {
-                    n != orphan
-                        && self.nodes[n.index()].alive
-                        && !self.topology.are_connected(orphan, n)
-                })
+                .alive
+                .iter()
+                .copied()
+                .filter(|&n| n != orphan && !self.topology.are_connected(orphan, n))
                 .collect();
             if !candidates.is_empty() {
                 let peer = *self.rng.choose(&candidates);
@@ -1480,17 +1555,19 @@ impl<P: Probe> World<P> {
     // --- sampling -------------------------------------------------------------------
 
     fn sample(&mut self, now: SimTime) {
-        let idle = self.nodes.iter().filter(|n| n.alive && n.queue.is_idle()).count();
-        let queued =
-            self.nodes.iter().filter(|n| n.alive).map(|n| n.queue.waiting_len()).sum();
-        self.metrics.sample_gauges(idle, queued);
+        // The incrementally maintained gauge counters replace what used
+        // to be two full scans over all N nodes per sample (the audit
+        // recounts them against the ground truth).
+        let idle = self.idle_alive;
+        let queued = self.queued_alive;
+        self.metrics.sample_gauges(idle, queued as usize);
         self.probe.record(
             now,
             ProbeEvent::Gauge {
-                idle: idle as u32,
-                queued: queued as u32,
-                pending_events: self.events.len() as u32,
-                peak_events: self.events.peak_len() as u32,
+                idle: idle as u64,
+                queued,
+                pending_events: self.events.len() as u64,
+                peak_events: self.events.peak_len() as u64,
             },
         );
         let next = now + self.config.sample_period;
@@ -1700,6 +1777,7 @@ mod tests {
     use crate::config::{AriaConfig, PolicyMix};
     use aria_grid::{Architecture, JobRequirements, OperatingSystem};
     use aria_metrics::TrafficClass;
+    use proptest::prelude::*;
 
     fn small_world(seed: u64) -> World {
         World::new(WorldConfig::small_test(40), seed)
@@ -2164,6 +2242,72 @@ mod tests {
         // The refusal floor: crashes stop at two survivors.
         assert_eq!(world.alive_nodes().len(), 2);
         assert_eq!(world.crashed_nodes().len(), total - 2);
+    }
+
+    /// The maintained alive index (and the gauge counters riding on it)
+    /// must stay equal to a full scan of all node slots — the
+    /// implementation it replaced — under any interleaving of joins,
+    /// crashes, and ordinary protocol progress.
+    #[derive(Debug, Clone, Copy)]
+    enum ChurnOp {
+        Join,
+        Crash,
+        Step,
+    }
+
+    prop_compose! {
+        fn arb_churn_op()(kind in 0u8..8) -> ChurnOp {
+            match kind {
+                0..=1 => ChurnOp::Join,
+                2..=3 => ChurnOp::Crash,
+                _ => ChurnOp::Step,
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn alive_index_and_gauges_match_a_full_scan_under_churn(
+            seed in 0u64..64,
+            ops in proptest::collection::vec(arb_churn_op(), 1..50),
+        ) {
+            let mut world = small_world(seed);
+            submit_batch(&mut world, 10);
+            let mut now = SimTime::ZERO;
+            for op in ops {
+                match op {
+                    ChurnOp::Join => world.join_node(now),
+                    ChurnOp::Crash => world.crash_node(now),
+                    ChurnOp::Step => {
+                        // Let the protocol move: floods, accepts, queue
+                        // promotions, completions all mutate the gauges.
+                        for _ in 0..50 {
+                            let Some((t, event)) = world.events.pop() else { break };
+                            now = t;
+                            world.handle(t, event);
+                        }
+                    }
+                }
+                let scan: Vec<NodeId> = world
+                    .topology
+                    .nodes()
+                    .filter(|&n| world.nodes[n.index()].alive)
+                    .collect();
+                prop_assert_eq!(world.alive_nodes(), scan.clone(), "alive index diverged");
+                world.fill_alive_candidates();
+                prop_assert_eq!(world.candidates.clone(), scan.clone(), "candidate fill diverged");
+                let idle = scan
+                    .iter()
+                    .filter(|&&n| world.nodes[n.index()].queue.is_idle())
+                    .count();
+                let queued: u64 = scan
+                    .iter()
+                    .map(|&n| world.nodes[n.index()].queue.waiting_len() as u64)
+                    .sum();
+                prop_assert_eq!(world.idle_alive, idle, "idle gauge diverged");
+                prop_assert_eq!(world.queued_alive, queued, "queued gauge diverged");
+            }
+        }
     }
 
     /// Size of the connected component containing `alive[0]`, walking

@@ -275,15 +275,19 @@ pub enum ProbeEvent {
         window: u32,
     },
     /// Periodic world sample: node occupancy and event-queue pressure.
+    ///
+    /// All four gauges are u64 (schema v3): at 100k+ node scales the
+    /// queued-job and event-queue counts overflow the u32s they were
+    /// first recorded as.
     Gauge {
         /// Nodes with an empty scheduler.
-        idle: u32,
+        idle: u64,
         /// Jobs waiting in scheduler queues, grid-wide.
-        queued: u32,
+        queued: u64,
         /// Pending entries in the simulation event queue.
-        pending_events: u32,
+        pending_events: u64,
         /// High-water mark of the event queue so far.
-        peak_events: u32,
+        peak_events: u64,
     },
 }
 

@@ -26,6 +26,10 @@
 //!   `ack-received`, `duplicate-suppressed`, `partition-started`,
 //!   `partition-healed` and the `ack` message kind. v1 traces still
 //!   validate.
+//! * **v3** — widens the four `gauge` fields from u32 to u64 (the wire
+//!   form is unchanged — JSON integers — but v3 writers may emit values
+//!   above `u32::MAX` at 100k+ node scales). v1/v2 traces still
+//!   validate.
 //!
 //! The schema is deliberately integer/bool/string-only (sim-time in
 //! milliseconds, costs in scheduler-cost milliseconds) so traces diff
@@ -46,7 +50,7 @@ use std::fmt;
 pub const SCHEMA_NAME: &str = "aria-probe-trace";
 
 /// Current schema version; see the module docs for the bump policy.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// A parse or validation failure, with the 1-based line it occurred on
 /// (line 0 = whole-file problems).
@@ -253,10 +257,10 @@ fn write_entry(out: &mut String, entry: &TraceEntry) {
             push_u64(out, "window", u64::from(window));
         }
         ProbeEvent::Gauge { idle, queued, pending_events, peak_events } => {
-            push_u64(out, "idle", u64::from(idle));
-            push_u64(out, "queued", u64::from(queued));
-            push_u64(out, "pending_events", u64::from(pending_events));
-            push_u64(out, "peak_events", u64::from(peak_events));
+            push_u64(out, "idle", idle);
+            push_u64(out, "queued", queued);
+            push_u64(out, "pending_events", pending_events);
+            push_u64(out, "peak_events", peak_events);
         }
     }
     out.push('}');
@@ -611,10 +615,10 @@ fn event_from_fields(f: &Fields) -> Result<ProbeEvent, SchemaError> {
         "partition-started" => ProbeEvent::PartitionStarted { window: f.u32("window")? },
         "partition-healed" => ProbeEvent::PartitionHealed { window: f.u32("window")? },
         "gauge" => ProbeEvent::Gauge {
-            idle: f.u32("idle")?,
-            queued: f.u32("queued")?,
-            pending_events: f.u32("pending_events")?,
-            peak_events: f.u32("peak_events")?,
+            idle: f.u64("idle")?,
+            queued: f.u64("queued")?,
+            pending_events: f.u64("pending_events")?,
+            peak_events: f.u64("peak_events")?,
         },
         other => return Err(err(f.line, format!("unknown event kind \"{other}\""))),
     })
@@ -768,7 +772,7 @@ mod tests {
     fn header_is_first_line_and_versioned() {
         let text = to_jsonl(&sample_trace());
         let header = text.lines().next().unwrap();
-        assert!(header.starts_with("{\"schema\":\"aria-probe-trace\",\"version\":2,"));
+        assert!(header.starts_with("{\"schema\":\"aria-probe-trace\",\"version\":3,"));
         assert!(header.contains("\"scenario\":\"iMixed\""));
         assert!(header.contains("\"events\":6"));
     }
@@ -776,10 +780,43 @@ mod tests {
     #[test]
     fn v1_traces_still_validate() {
         // The sample trace only uses v1 kinds; a v1-stamped file of it
-        // must keep parsing under the v2 reader.
-        let text = to_jsonl(&sample_trace()).replace("\"version\":2", "\"version\":1");
+        // must keep parsing under the v3 reader.
+        let text = to_jsonl(&sample_trace()).replace("\"version\":3", "\"version\":1");
         let back = from_jsonl(&text).expect("v1 trace rejected");
         assert_eq!(back, sample_trace());
+    }
+
+    #[test]
+    fn v2_traces_still_validate() {
+        // v3 only widened the gauge fields; a v2-stamped trace (gauge
+        // values all within u32) must keep parsing under the v3 reader.
+        let text = to_jsonl(&sample_trace()).replace("\"version\":3", "\"version\":2");
+        let back = from_jsonl(&text).expect("v2 trace rejected");
+        assert_eq!(back, sample_trace());
+    }
+
+    #[test]
+    fn gauge_values_above_u32_survive() {
+        // The v3 widening: gauges beyond u32::MAX round-trip exactly
+        // instead of truncating (the 100k-node regime).
+        let big = u64::from(u32::MAX) + 17;
+        let entries = vec![TraceEntry {
+            seq: 0,
+            at: SimTime::from_secs(1),
+            event: ProbeEvent::Gauge {
+                idle: 100_000,
+                queued: big,
+                pending_events: big + 1,
+                peak_events: big + 2,
+            },
+        }];
+        let trace = Trace {
+            meta: TraceMeta { scenario: "scale".to_string(), seed: 1, nodes: 100_000, jobs: 0 },
+            dropped: 0,
+            entries,
+        };
+        let back = from_jsonl(&to_jsonl(&trace)).expect("parse");
+        assert_eq!(back, trace);
     }
 
     #[test]
@@ -843,11 +880,11 @@ mod tests {
     #[test]
     fn version_mismatch_is_rejected() {
         // Future versions are rejected (the reader will not guess)...
-        let text = to_jsonl(&sample_trace()).replace("\"version\":2", "\"version\":99");
+        let text = to_jsonl(&sample_trace()).replace("\"version\":3", "\"version\":99");
         let e = from_jsonl(&text).unwrap_err();
         assert!(e.message.contains("unsupported schema version"), "{e}");
         // ...and so is the nonsense version 0.
-        let text = to_jsonl(&sample_trace()).replace("\"version\":2", "\"version\":0");
+        let text = to_jsonl(&sample_trace()).replace("\"version\":3", "\"version\":0");
         let e = from_jsonl(&text).unwrap_err();
         assert!(e.message.contains("unsupported schema version"), "{e}");
     }
