@@ -1,0 +1,329 @@
+//! Runtime effect tracer: the dynamic half of the effect-map analysis.
+//!
+//! `cargo xtask effects` (DESIGN.md §13) statically derives, per event
+//! handler, the set of *effect classes* — named groups of [`World`]
+//! fields — the handler may write, and commits the result as
+//! `EFFECTS.json`. That map is what the sharded parallel runner
+//! (ROADMAP item 2) will trust to prove handlers from different regions
+//! cannot race. A static map is only as good as its analyzer, so this
+//! module provides the soundness cross-check from the other side: run a
+//! world event by event, fingerprint every tracked class before and
+//! after each [`World::handle`] call, and record which classes each
+//! handler *actually* mutated. [`EffectAudit::check_against`] then
+//! asserts `observed ⊆ declared` — any touch the analyzer failed to
+//! predict fails the audit (and CI) until the map is regenerated and
+//! the new edge is reviewed.
+//!
+//! The fingerprints hash each class's `Debug` rendering (the derived
+//! `Debug` of every tracked structure prints its full state, and the
+//! repo-wide determinism rules keep that rendering a pure function of
+//! state), so the tracer needs no per-field instrumentation and cannot
+//! drift from the structs. Like [`World::run_checked`], tracing is
+//! read-only between events: a traced run returns bit-for-bit the same
+//! metrics as [`World::run`] — `tests/effects_map.rs` pins that over
+//! the determinism goldens. Fingerprinting is O(world) per event; use
+//! test-scale worlds only.
+//!
+//! Two classes are deliberately untracked: `scratch` (the `candidates`/
+//! `picked` reusable buffers — meaningless across events by contract)
+//! and `probe` (the observability sink — outside the simulation state
+//! by construction, pinned separately by `tests/probe_golden.rs`).
+
+use crate::world::{Event, World};
+use aria_metrics::MetricsCollector;
+use aria_probe::schema as probe_schema;
+use aria_probe::Probe;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// The effect classes the tracer fingerprints, in fingerprint-array
+/// order. Must stay in sync with the classes `cargo xtask effects`
+/// derives (the analyzer's self-check and `tests/effects_map.rs` both
+/// fail on drift).
+pub const TRACKED_CLASSES: &[&str] = &[
+    "accounting",
+    "alive-index",
+    "config",
+    "event-queue",
+    "fault",
+    "flood-table",
+    "job-table",
+    "metrics",
+    "node-state",
+    "rng-fault",
+    "rng-main",
+    "topology",
+];
+
+/// Streaming FNV-1a over `Debug` output — no intermediate `String`.
+struct Fnv(u64);
+
+impl std::fmt::Write for Fnv {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for byte in s.bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a fingerprint of a value's `Debug` rendering.
+fn fingerprint(value: &dyn std::fmt::Debug) -> u64 {
+    let mut fnv = Fnv(0xcbf2_9ce4_8422_2325);
+    write!(fnv, "{value:?}").expect("fnv sink never fails");
+    fnv.0
+}
+
+/// The kebab-case handler name of an event — the key the static map
+/// files handlers under. One name per [`Event`] variant; adding a
+/// variant without extending this match is a compile error, and the
+/// analyzer derives the same names from the variant idents, so the two
+/// sides cannot disagree silently.
+pub(crate) fn handler_name(event: &Event) -> &'static str {
+    match event {
+        Event::Deliver { .. } => "deliver",
+        Event::Submit { .. } => "submit",
+        Event::AcceptWindowClosed { .. } => "accept-window-closed",
+        Event::RetryRequest { .. } => "retry-request",
+        Event::ExecutionComplete { .. } => "execution-complete",
+        Event::InformTick { .. } => "inform-tick",
+        Event::DispatchRetry { .. } => "dispatch-retry",
+        Event::Join => "join",
+        Event::Crash => "crash",
+        Event::RecoverJob { .. } => "recover-job",
+        Event::AssignTimeout { .. } => "assign-timeout",
+        Event::PartitionStart { .. } => "partition-start",
+        Event::PartitionEnd { .. } => "partition-end",
+        Event::Sample => "sample",
+    }
+}
+
+/// Observed per-handler write sets, accumulated by
+/// [`World::run_effect_traced`].
+#[derive(Debug, Default, Clone)]
+pub struct EffectAudit {
+    /// handler name → classes seen mutated across at least one event.
+    observed: BTreeMap<&'static str, BTreeSet<&'static str>>,
+    /// Events traced.
+    events: u64,
+}
+
+impl EffectAudit {
+    /// An empty audit.
+    pub fn new() -> Self {
+        EffectAudit::default()
+    }
+
+    /// Events traced so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The observed map: `(handler, mutated classes)`, sorted.
+    pub fn observed(&self) -> Vec<(&'static str, Vec<&'static str>)> {
+        self.observed.iter().map(|(h, cs)| (*h, cs.iter().copied().collect())).collect()
+    }
+
+    fn record(&mut self, handler: &'static str, before: &[u64], after: &[u64]) {
+        self.events += 1;
+        let touched = self.observed.entry(handler).or_default();
+        for (i, class) in TRACKED_CLASSES.iter().enumerate() {
+            if before[i] != after[i] {
+                touched.insert(class);
+            }
+        }
+    }
+
+    /// Asserts every observed write is declared by the static map:
+    /// `declared` is handler name → statically derived write classes
+    /// (as read from `EFFECTS.json`). Returns every undeclared
+    /// `(handler, class)` edge as one error string.
+    pub fn check_against(
+        &self,
+        declared: &BTreeMap<String, BTreeSet<String>>,
+    ) -> Result<(), String> {
+        let mut drift = Vec::new();
+        for (handler, classes) in &self.observed {
+            let Some(allowed) = declared.get(*handler) else {
+                drift.push(format!("handler `{handler}` missing from the static map"));
+                continue;
+            };
+            for class in classes {
+                if !allowed.contains(*class) {
+                    drift.push(format!(
+                        "handler `{handler}` mutated `{class}` — not in its declared write set"
+                    ));
+                }
+            }
+        }
+        if drift.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "effect drift: observed writes outside EFFECTS.json \
+                 (regenerate with `cargo xtask effects` and review the diff):\n  {}",
+                drift.join("\n  ")
+            ))
+        }
+    }
+
+    /// Exports the audit as JSONL in the probe trace style: a header
+    /// line, then one line per handler with its observed write classes.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = probe_schema::effect_audit_header(self.events);
+        out.push('\n');
+        for (handler, classes) in &self.observed {
+            let classes: Vec<&str> = classes.iter().copied().collect();
+            out.push_str(&probe_schema::effect_audit_line(handler, &classes));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl<P: Probe> World<P> {
+    /// One fingerprint per [`TRACKED_CLASSES`] entry, in order.
+    fn effect_fingerprints(&self) -> [u64; TRACKED_CLASSES.len()] {
+        [
+            // accounting
+            fingerprint(&(&self.abandoned, &self.crashed, &self.lost, self.recovered, self.processed)),
+            // alive-index
+            fingerprint(&(&self.alive, self.idle_alive, self.queued_alive)),
+            // config
+            fingerprint(&self.config),
+            // event-queue (popped before capture, so only handler
+            // schedules show up as diffs)
+            fingerprint(&self.events),
+            // fault
+            fingerprint(&(self.fault_active, self.fault_seq, self.partitions_open, &self.fault_log)),
+            // flood-table
+            fingerprint(&self.floods),
+            // job-table
+            fingerprint(&self.jobs),
+            // metrics
+            fingerprint(&self.metrics),
+            // node-state
+            fingerprint(&self.nodes),
+            // rng-fault
+            fingerprint(&self.fault_rng),
+            // rng-main
+            fingerprint(&self.rng),
+            // topology
+            fingerprint(&(&self.topology, &self.blatant)),
+        ]
+    }
+
+    /// Runs to completion like [`World::run`], fingerprinting every
+    /// tracked effect class around every drained event and recording
+    /// the observed per-handler write sets into `audit`.
+    ///
+    /// Tracing is read-only, so a traced run produces bit-for-bit the
+    /// same metrics as [`World::run`] — `tests/effects_map.rs` pins
+    /// that equivalence over the determinism goldens. O(world) per
+    /// event; test-scale worlds only.
+    pub fn run_effect_traced(&mut self, audit: &mut EffectAudit) -> &MetricsCollector {
+        while let Some((now, event)) = self.events.pop() {
+            self.processed += 1;
+            let handler = handler_name(&event);
+            let before = self.effect_fingerprints();
+            self.handle(now, event);
+            let after = self.effect_fingerprints();
+            audit.record(handler, &before, &after);
+        }
+        #[cfg(debug_assertions)]
+        self.check_invariants();
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use aria_sim::{SimDuration, SimTime};
+    use aria_workload::{JobGenerator, JobGeneratorConfig, SubmissionSchedule};
+
+    fn traced_world(seed: u64) -> (World, EffectAudit) {
+        let mut world = World::new(WorldConfig::small_test(20), seed);
+        let mut jobs = JobGenerator::new(JobGeneratorConfig::paper_batch());
+        let schedule =
+            SubmissionSchedule::new(SimTime::from_mins(2), SimDuration::from_secs(30), 8);
+        world.submit_schedule(&schedule, &mut jobs);
+        let mut audit = EffectAudit::new();
+        world.run_effect_traced(&mut audit);
+        (world, audit)
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run_bit_for_bit() {
+        let (traced, audit) = traced_world(7);
+        let mut plain = World::new(WorldConfig::small_test(20), 7);
+        let mut jobs = JobGenerator::new(JobGeneratorConfig::paper_batch());
+        let schedule =
+            SubmissionSchedule::new(SimTime::from_mins(2), SimDuration::from_secs(30), 8);
+        plain.submit_schedule(&schedule, &mut jobs);
+        plain.run();
+        assert!(audit.events() > 0);
+        assert_eq!(traced.metrics().records(), plain.metrics().records());
+        assert_eq!(traced.metrics().completed_count(), plain.metrics().completed_count());
+        assert_eq!(traced.metrics().traffic(), plain.metrics().traffic());
+        assert_eq!(
+            traced.metrics().idle_series().values(),
+            plain.metrics().idle_series().values()
+        );
+    }
+
+    #[test]
+    fn observed_classes_are_plausible() {
+        let (_, audit) = traced_world(11);
+        let observed: BTreeMap<_, _> = audit.observed().into_iter().collect();
+        // Submission always draws the initiator and registers pending
+        // state; delivery always moves protocol state somewhere.
+        assert!(observed["submit"].contains(&"rng-main"));
+        assert!(observed["submit"].contains(&"job-table"));
+        assert!(!observed["deliver"].is_empty(), "deliveries must move protocol state");
+        // A reliable small world never touches the fault layer.
+        for classes in observed.values() {
+            assert!(!classes.contains(&"rng-fault"));
+            assert!(!classes.contains(&"config"));
+            assert!(!classes.contains(&"topology"));
+        }
+    }
+
+    #[test]
+    fn check_against_flags_undeclared_edges_and_accepts_supersets() {
+        let (_, audit) = traced_world(3);
+        // Declaring everything passes.
+        let mut declared: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (handler, _) in audit.observed() {
+            declared.insert(
+                handler.to_string(),
+                TRACKED_CLASSES.iter().map(|c| c.to_string()).collect(),
+            );
+        }
+        assert!(audit.check_against(&declared).is_ok());
+        // Removing one observed class from one handler fails loudly.
+        let (handler, classes) = &audit.observed()[0];
+        declared.get_mut(*handler).unwrap().remove(classes[0]);
+        let err = audit.check_against(&declared).unwrap_err();
+        assert!(err.contains(*handler), "{err}");
+        assert!(err.contains(classes[0]), "{err}");
+        // A handler absent from the map fails too.
+        declared.remove(*handler);
+        assert!(audit.check_against(&declared).unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn jsonl_export_is_parseable_shaped() {
+        let (_, audit) = traced_world(5);
+        let jsonl = audit.to_jsonl();
+        let mut lines = jsonl.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("\"schema\":\"aria-effect-audit\""), "{header}");
+        for line in lines {
+            assert!(line.starts_with("{\"handler\":"), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+    }
+}

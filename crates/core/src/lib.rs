@@ -73,6 +73,7 @@ pub mod central;
 pub mod gossip;
 pub mod config;
 mod dense;
+pub mod effects;
 pub mod explore;
 pub mod fault;
 pub mod msg;
@@ -84,6 +85,7 @@ pub mod world;
 pub use central::CentralScheduler;
 pub use gossip::GossipScheduler;
 pub use config::{AriaConfig, OverlayKind, PolicyMix, ReservationPlan, WorldConfig};
+pub use effects::EffectAudit;
 pub use explore::{Action, PendingDelivery};
 pub use fault::{FaultKind, FaultPlan, FaultRecord, PartitionWindow};
 pub use msg::{FloodId, Message};

@@ -1667,6 +1667,12 @@ impl<P: Probe> World<P> {
     /// Traffic was already charged by the caller: a lost message was
     /// still transmitted (§V-E counts logical messages), and a duplicate
     /// is transport-level noise, not an extra protocol message.
+    ///
+    /// effects:choke-point(deliver) — this is the only place handler
+    /// code may schedule [`Event::Deliver`]: every cross-node effect
+    /// funnels through here, which is what lets the effect-map analyzer
+    /// (`cargo xtask effects`, DESIGN.md §13) prove handlers touch
+    /// non-local node state only via explicit transmit edges.
     fn transmit(&mut self, now: SimTime, from: NodeId, to: NodeId, msg: Message, latency: SimDuration) {
         if !self.fault_active {
             self.events.schedule(now + latency, Event::Deliver { to, msg });

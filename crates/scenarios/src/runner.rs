@@ -300,23 +300,7 @@ impl Runner {
         checked: bool,
         probe: P,
     ) -> (RunStats, World<P>) {
-        let mut config = scenario.world_config();
-        config.fault = fault;
-        if let Some(nodes) = self.nodes {
-            let shrink = nodes as f64 / config.nodes as f64;
-            config.nodes = nodes;
-            // Scale the expanding-scenario joins with the grid.
-            // det:allow(lossy-float-cast): shrink <= 1, so round(len * shrink) fits
-            let keep = (config.joins.len() as f64 * shrink).round() as usize;
-            config.joins.truncate(keep);
-            // Small overlays cannot sustain a 9-hop average path bound.
-            config.overlay_path_length = config.overlay_path_length.min((nodes as f64).log2());
-        }
-        let schedule = self.schedule_for(scenario);
-
-        let mut world = World::with_probe(config, seed, probe);
-        let mut generator = JobGenerator::new(scenario.job_config());
-        world.submit_schedule(&schedule, &mut generator);
+        let mut world = self.build_world(scenario, seed, fault, probe);
         // Timing the loop from outside is pure observability: the
         // reading is reported, never fed back into the simulation.
         #[allow(clippy::disallowed_types, clippy::disallowed_methods)]
@@ -353,6 +337,44 @@ impl Runner {
             events: world.processed_events(),
         };
         (stats, world)
+    }
+
+    /// Builds — but does not run — the exact world one `(scenario,
+    /// seed)` run executes: the scenario's config under this runner's
+    /// scale overrides, with the given fault plan and probe attached
+    /// and the scenario's workload already scheduled.
+    ///
+    /// Every `run_once*` entry point goes through here, so a caller
+    /// that needs a different run loop (the effect-tracer audit of
+    /// `cargo xtask effects --audit` and `tests/effects_map.rs`
+    /// replaying the determinism goldens under
+    /// [`World::run_effect_traced`]) is guaranteed to drive a
+    /// bit-identical world.
+    pub fn build_world<P: Probe>(
+        &self,
+        scenario: Scenario,
+        seed: u64,
+        fault: aria_core::FaultPlan,
+        probe: P,
+    ) -> World<P> {
+        let mut config = scenario.world_config();
+        config.fault = fault;
+        if let Some(nodes) = self.nodes {
+            let shrink = nodes as f64 / config.nodes as f64;
+            config.nodes = nodes;
+            // Scale the expanding-scenario joins with the grid.
+            // det:allow(lossy-float-cast): shrink <= 1, so round(len * shrink) fits
+            let keep = (config.joins.len() as f64 * shrink).round() as usize;
+            config.joins.truncate(keep);
+            // Small overlays cannot sustain a 9-hop average path bound.
+            config.overlay_path_length = config.overlay_path_length.min((nodes as f64).log2());
+        }
+        let schedule = self.schedule_for(scenario);
+
+        let mut world = World::with_probe(config, seed, probe);
+        let mut generator = JobGenerator::new(scenario.job_config());
+        world.submit_schedule(&schedule, &mut generator);
+        world
     }
 
     /// Runs one scenario over the given seeds.

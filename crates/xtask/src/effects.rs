@@ -1,0 +1,1348 @@
+//! `cargo xtask effects` — the effect-map analyzer: a static proof that
+//! event handlers are state-isolated enough for a parallel runner.
+//!
+//! ```text
+//! cargo xtask effects               # analyze + write EFFECTS.json
+//! cargo xtask effects --check       # CI gate: clean tree AND committed map is current
+//! cargo xtask effects --self-check  # planted violations must be caught
+//! cargo xtask effects --audit       # runtime tracer: observed ⊆ static map
+//! ```
+//!
+//! The analyzer walks the sim-reachable crates with the same lexer as the
+//! determinism lint ([`crate::scan`]), builds the call graph of every
+//! `World` event handler from the `match event { … }` dispatch, and
+//! classifies each `self.<field>` access into a declared **effect class**
+//! (per-node state, event queue, flood tables, RNG streams, metrics, …).
+//! The result is committed as `EFFECTS.json`; `--check` regenerates and
+//! byte-compares, so the map can never drift from the code.
+//!
+//! Three structural rules ride on the same pass:
+//!
+//! * **deliver-choke** — handler code may schedule [`Event::Deliver`]
+//!   only inside `World::transmit` (the marked choke point). Everything
+//!   a handler does to *another* node's state must flow through it.
+//! * **fork-stream** — every `rng.fork(k)` uses an integer-literal
+//!   stream id, and each `(file, stream)` pair is owned by exactly one
+//!   function, so subsystems provably stay on their declared streams.
+//! * **handler-collections** — hash-order collections are banned from
+//!   handler-reachable code outright; unlike the lint, `det:allow` is
+//!   **not** honored here (iteration order leaks into the schedule).
+//!
+//! Writes are **over-approximated**: an unrecognized method call on a
+//! field chain counts as a write. That direction is what makes the
+//! runtime half sound — `--audit` replays worlds under the
+//! [`aria_core::EffectAudit`] tracer and asserts *observed ⊆ declared*.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+use std::path::Path;
+use std::process::ExitCode;
+
+use crate::rules::{Diagnostic, HASH_PATTERNS};
+use crate::scan::{contains_word, split_channels};
+use crate::source::{self, skip_balanced, workspace_root};
+
+/// Crates scanned for handler-reachable code: the simulation core and
+/// the protocol/overlay/observability crates it dispatches into.
+pub const EFFECTS_CRATES: &[&str] = &["core", "grid", "overlay", "probe", "sim"];
+
+/// The file defining `struct World` and the handler dispatch.
+const WORLD_FILE: &str = "crates/core/src/world.rs";
+
+/// Repo-relative path of the committed map.
+pub const EFFECTS_PATH: &str = "EFFECTS.json";
+
+/// Comment marker escaping one effects rule at a statement:
+/// `effects:allow(<rule>): reason`.
+const ALLOW_MARKER: &str = "effects:allow(";
+
+/// Comment marker that must sit on the one legitimate Deliver
+/// scheduling site.
+const CHOKE_MARKER: &str = "effects:choke-point(deliver)";
+
+/// Every effect class, with the description exported to `EFFECTS.json`.
+/// The first twelve are fingerprinted at runtime by
+/// [`aria_core::EffectAudit`]; `probe` and `scratch` are statically
+/// tracked but exempt from runtime hashing (see DESIGN.md §13).
+const EFFECT_CLASSES: &[(&str, &str)] = &[
+    ("accounting", "job-outcome counters and ledgers (abandoned, crashed, lost, recovered, processed)"),
+    ("alive-index", "incremental index of alive nodes and the idle/queued tallies"),
+    ("config", "world configuration, read-only after construction"),
+    ("event-queue", "the global discrete-event queue"),
+    ("fault", "fault-injection bookkeeping: active plan, sequence counter, open partitions, log"),
+    ("flood-table", "per-request flood round and visited-set tables"),
+    ("job-table", "dense job state table"),
+    ("metrics", "metrics collector and time series"),
+    ("node-state", "per-node protocol state - the parallel-runner partition unit"),
+    ("probe", "observability sink; untracked at runtime, pinned by the probe goldens"),
+    ("rng-fault", "fault-injection RNG stream"),
+    ("rng-main", "protocol RNG stream"),
+    ("scratch", "per-event scratch buffers, cleared before reuse; untracked at runtime"),
+    ("topology", "overlay topology and the blatant latency model"),
+];
+
+/// `World` field → effect class. Sorted by field name (binary-searched).
+/// Kept in lockstep with `World::effect_fingerprints` in
+/// `crates/core/src/effects.rs`; the field-classes rule fails the gate
+/// when this table and the struct definition drift apart.
+const FIELD_CLASSES: &[(&str, &str)] = &[
+    ("abandoned", "accounting"),
+    ("alive", "alive-index"),
+    ("blatant", "topology"),
+    ("candidates", "scratch"),
+    ("config", "config"),
+    ("crashed", "accounting"),
+    ("events", "event-queue"),
+    ("fault_active", "fault"),
+    ("fault_log", "fault"),
+    ("fault_rng", "rng-fault"),
+    ("fault_seq", "fault"),
+    ("floods", "flood-table"),
+    ("idle_alive", "alive-index"),
+    ("jobs", "job-table"),
+    ("lost", "accounting"),
+    ("metrics", "metrics"),
+    ("nodes", "node-state"),
+    ("partitions_open", "fault"),
+    ("picked", "scratch"),
+    ("probe", "probe"),
+    ("processed", "accounting"),
+    ("queued_alive", "alive-index"),
+    ("recovered", "accounting"),
+    ("rng", "rng-main"),
+    ("topology", "topology"),
+];
+
+/// Chain methods known not to mutate their receiver. Anything *not*
+/// listed counts as a write — the sound direction for the runtime
+/// subset check. Mutating names (`push`, `insert`, `take`, `get_mut`,
+/// `schedule`, …) must never appear here.
+const READ_METHODS: &[&str] = &[
+    "actual_running_time", "all", "and_then", "any", "are_connected", "as_deref", "as_millis",
+    "as_ref", "as_secs", "binary_search", "chain", "clamped_count", "clone", "cloned", "collect",
+    "contains", "contains_key", "copied", "count", "degree", "entries", "enumerate", "expect",
+    "filter", "filter_map", "find", "first", "flat_map", "flatten", "flood_latency", "fold",
+    "free_ids", "get", "is_empty", "is_none", "is_some", "is_some_and", "iter", "keeps", "keys",
+    "last", "latency", "len", "map", "max", "max_by_key", "min", "min_by_key", "neighbors",
+    "nodes", "now", "ok", "peek", "peek_time", "pick_initiator", "pick_targets", "position",
+    "raw", "reply_latency", "request_latency", "rev", "sample", "saturating_sub", "skip", "slot",
+    "slots", "spec", "stats", "step_by", "sum", "take_while", "to_string", "unwrap", "unwrap_or",
+    "unwrap_or_default", "unwrap_or_else", "values", "zip",
+];
+
+/// Rule catalog exported under `"rules"` in the JSON.
+const RULE_DOCS: &[(&str, &str)] = &[
+    ("choke-marker", "the world source must carry the effects:choke-point(deliver) marker on transmit"),
+    ("deliver-choke", "handlers may schedule Event::Deliver only inside World::transmit"),
+    ("effect-call", "every handler-reachable self-call must resolve to a known method"),
+    ("effect-field", "every World field maps to exactly one declared effect class, and vice versa"),
+    ("fork-stream", "every rng.fork(k) uses a literal stream id owned by exactly one fn per file"),
+    ("handler-collections", "no hash-order collections in handler-reachable code; det:allow is not honored here"),
+];
+
+// ---------------------------------------------------------------------
+// Source model
+// ---------------------------------------------------------------------
+
+/// One scanned file: the blanked code channel joined back into a single
+/// string (offsets are stable), plus per-line comments for allow
+/// markers. Unit-test modules are cut off — `#[cfg(test)] mod …` code
+/// drives worlds, it does not define handler effects.
+struct SourceFile {
+    rel: String,
+    code: String,
+    /// Byte offset where each (0-based) line starts in `code`.
+    line_starts: Vec<usize>,
+    comments: Vec<String>,
+}
+
+impl SourceFile {
+    fn parse(rel: &str, text: &str) -> SourceFile {
+        let lines = split_channels(text);
+        // Cut at `#[cfg(test)]` only when a `mod` follows within two
+        // lines: `#[cfg(test)] pub fn helper()` mid-impl must survive.
+        let mut cut = lines.len();
+        for (i, line) in lines.iter().enumerate() {
+            if line.code.contains("#[cfg(test)]")
+                && lines[i..(i + 3).min(lines.len())].iter().any(|l| l.code.contains("mod "))
+            {
+                cut = i;
+                break;
+            }
+        }
+        let mut code = String::new();
+        let mut line_starts = Vec::new();
+        let mut comments = Vec::new();
+        for line in &lines[..cut] {
+            line_starts.push(code.len());
+            code.push_str(&line.code);
+            code.push('\n');
+            comments.push(line.comment.clone());
+        }
+        SourceFile { rel: rel.to_string(), code, line_starts, comments }
+    }
+
+    /// 1-based line number of a byte offset in `code`.
+    fn line_of(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= offset).max(1)
+    }
+
+    /// Whether any comment on lines `[from_line-1 ..= to_line]`
+    /// (1-based, clamped) carries `effects:allow(<rule>)`. The span is
+    /// the whole statement plus one preceding line, so a multi-line
+    /// justification above the statement still counts.
+    fn allowed(&self, rule: &str, from_line: usize, to_line: usize) -> bool {
+        let marker = format!("{ALLOW_MARKER}{rule})");
+        let lo = from_line.saturating_sub(2); // 1-based -> 0-based, minus one extra line
+        let hi = to_line.min(self.comments.len());
+        self.comments[lo..hi].iter().any(|c| c.contains(&marker))
+    }
+
+    fn diag(&self, offset: usize, rule: &'static str, message: String) -> Diagnostic {
+        Diagnostic { path: self.rel.clone(), line: self.line_of(offset), rule, message }
+    }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn skip_ws(bytes: &[u8], mut p: usize) -> usize {
+    while p < bytes.len() && bytes[p].is_ascii_whitespace() {
+        p += 1;
+    }
+    p
+}
+
+/// Whether the `len` bytes at `pos` sit on identifier boundaries.
+fn word_at(bytes: &[u8], pos: usize, len: usize) -> bool {
+    (pos == 0 || !is_ident(bytes[pos - 1]))
+        && (pos + len >= bytes.len() || !is_ident(bytes[pos + len]))
+}
+
+/// All word-bounded occurrences of `needle` in `code[range]`.
+fn find_words(code: &str, range: Range<usize>, needle: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut at = range.start;
+    while let Some(found) = code[at..range.end].find(needle) {
+        let pos = at + found;
+        at = pos + needle.len();
+        if word_at(bytes, pos, needle.len()) {
+            out.push(pos);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Function and struct parsing
+// ---------------------------------------------------------------------
+
+/// A parsed `fn`: its name and the byte range of its `{ … }` body.
+#[derive(Clone)]
+struct FnItem {
+    name: String,
+    sig_start: usize,
+    body: Range<usize>,
+}
+
+/// Finds every `fn` with a body (declarations are skipped). Generic
+/// parameter lists are crossed with an angle-bracket depth scan that
+/// ignores the `>` of `->` (so `fn f<F: Fn() -> bool>` parses).
+fn parse_fns(code: &str) -> Vec<FnItem> {
+    let bytes = code.as_bytes();
+    let mut fns = Vec::new();
+    for pos in find_words(code, 0..code.len(), "fn") {
+        let mut p = skip_ws(bytes, pos + 2);
+        let name_start = p;
+        while p < bytes.len() && is_ident(bytes[p]) {
+            p += 1;
+        }
+        if p == name_start {
+            continue;
+        }
+        let name = code[name_start..p].to_string();
+        p = skip_ws(bytes, p);
+        if p < bytes.len() && bytes[p] == b'<' {
+            let mut depth = 0i32;
+            while p < bytes.len() {
+                match bytes[p] {
+                    b'<' => depth += 1,
+                    b'>' if p > 0 && bytes[p - 1] == b'-' => {}
+                    b'>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            p += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                p += 1;
+            }
+        }
+        while p < bytes.len() && bytes[p] != b'(' && bytes[p] != b'{' && bytes[p] != b';' {
+            p += 1;
+        }
+        if p >= bytes.len() || bytes[p] != b'(' {
+            continue;
+        }
+        p = skip_balanced(bytes, p);
+        while p < bytes.len() && bytes[p] != b'{' && bytes[p] != b';' {
+            p += 1;
+        }
+        if p >= bytes.len() || bytes[p] == b';' {
+            continue;
+        }
+        let end = skip_balanced(bytes, p);
+        fns.push(FnItem { name, sig_start: pos, body: p..end });
+    }
+    fns
+}
+
+/// The innermost function containing `offset`.
+fn enclosing_fn(fns: &[FnItem], offset: usize) -> Option<&FnItem> {
+    fns.iter()
+        .filter(|f| f.sig_start <= offset && offset < f.body.end)
+        .min_by_key(|f| f.body.end - f.sig_start)
+}
+
+/// The field names of `struct World { … }` (line-shaped: `name: Type,`
+/// with optional visibility, attribute lines skipped).
+fn parse_world_fields(file: &SourceFile) -> Vec<String> {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    let mut fields = Vec::new();
+    let Some(pos) = find_words(code, 0..code.len(), "struct World").first().copied() else {
+        return fields;
+    };
+    let Some(open) = code[pos..].find('{').map(|o| pos + o) else { return fields };
+    let end = skip_balanced(bytes, open);
+    for line in code[open + 1..end.saturating_sub(1)].lines() {
+        let t = line.trim_start();
+        if t.starts_with('#') {
+            continue;
+        }
+        let t = t.strip_prefix("pub(crate) ").or_else(|| t.strip_prefix("pub ")).unwrap_or(t);
+        let ident: String =
+            t.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+        if !ident.is_empty() && t[ident.len()..].trim_start().starts_with(':') {
+            fields.push(ident);
+        }
+    }
+    fields
+}
+
+// ---------------------------------------------------------------------
+// Effect classification
+// ---------------------------------------------------------------------
+
+/// Effects of one code range: classes read, classes written, and
+/// `self.method(…)` call edges.
+#[derive(Default, Clone)]
+struct Effects {
+    reads: BTreeSet<String>,
+    writes: BTreeSet<String>,
+    calls: BTreeSet<String>,
+}
+
+/// Classifies every `self.…` access in `range`. Field accesses map to
+/// their effect class (read or write, see [`classify_chain`]); calls to
+/// other methods become edges; an unknown field is an `effect-field`
+/// diagnostic.
+fn analyze_range(
+    file: &SourceFile,
+    range: Range<usize>,
+    field_classes: &[(&str, &str)],
+    diags: &mut Vec<Diagnostic>,
+) -> Effects {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    let mut fx = Effects::default();
+    for pos in find_words(code, range.clone(), "self") {
+        let p = skip_ws(bytes, pos + 4);
+        if p >= bytes.len() || bytes[p] != b'.' {
+            continue;
+        }
+        let p = skip_ws(bytes, p + 1);
+        let ident_start = p;
+        let mut q = p;
+        while q < bytes.len() && is_ident(bytes[q]) {
+            q += 1;
+        }
+        if q == ident_start {
+            continue;
+        }
+        let ident = &code[ident_start..q];
+        if let Ok(i) = field_classes.binary_search_by(|(f, _)| (*f).cmp(ident)) {
+            let class = field_classes[i].1;
+            if classify_chain(code, pos, q, class) {
+                fx.writes.insert(class.to_string());
+            } else {
+                fx.reads.insert(class.to_string());
+            }
+        } else if bytes.get(skip_ws(bytes, q)) == Some(&b'(') {
+            fx.calls.insert(ident.to_string());
+        } else {
+            diags.push(file.diag(
+                pos,
+                "effect-field",
+                format!("`self.{ident}` does not match any declared World field - update FIELD_CLASSES (crates/xtask/src/effects.rs) and the runtime fingerprints"),
+            ));
+        }
+    }
+    // `Self::helper(…)` — associated calls carry no receiver but may
+    // still be handler-reachable code worth analyzing.
+    for pos in find_words(code, range, "Self") {
+        if !code[pos + 4..].starts_with("::") {
+            continue;
+        }
+        let s = pos + 6;
+        let mut q = s;
+        while q < bytes.len() && is_ident(bytes[q]) {
+            q += 1;
+        }
+        if q > s && bytes.get(skip_ws(bytes, q)) == Some(&b'(') {
+            fx.calls.insert(code[s..q].to_string());
+        }
+    }
+    fx
+}
+
+/// Walks the access chain starting after the field ident at `chain` and
+/// decides write vs read. Writes are over-approximated: an assignment
+/// operator after the chain, a `&mut` borrow of it, or any chain method
+/// **not** in [`READ_METHODS`] all count. RNG fields are always writes
+/// (every useful method on a stream advances it).
+fn classify_chain(code: &str, self_pos: usize, mut p: usize, class: &str) -> bool {
+    if class.starts_with("rng-") {
+        return true;
+    }
+    let bytes = code.as_bytes();
+    if code[..self_pos].trim_end().ends_with("&mut") {
+        return true;
+    }
+    loop {
+        if p >= bytes.len() {
+            break;
+        }
+        match bytes[p] {
+            b'[' => p = skip_balanced(bytes, p),
+            b'?' => p += 1,
+            b'.' => {
+                let s = skip_ws(bytes, p + 1);
+                let mut q = s;
+                while q < bytes.len() && is_ident(bytes[q]) {
+                    q += 1;
+                }
+                if q == s {
+                    break;
+                }
+                let name = &code[s..q];
+                if name.bytes().all(|b| b.is_ascii_digit()) {
+                    p = q; // tuple index — keep walking the chain
+                    continue;
+                }
+                let r = skip_ws(bytes, q);
+                if r < bytes.len() && bytes[r] == b'(' {
+                    if !READ_METHODS.contains(&name) {
+                        return true;
+                    }
+                    p = skip_balanced(bytes, r);
+                } else {
+                    p = q; // plain subfield
+                }
+            }
+            _ => break,
+        }
+    }
+    // Assignment operators after the chain: `=` (but not `==`/`=>`),
+    // compound `+= -= *= /= %= ^= |= &=`, shifts `<<=`/`>>=`. Plain
+    // comparisons (`<= >= == && ||`) never match.
+    let t = skip_ws(bytes, p);
+    match bytes.get(t) {
+        Some(b'=') => !matches!(bytes.get(t + 1), Some(b'=') | Some(b'>')),
+        Some(b'+') | Some(b'-') | Some(b'*') | Some(b'/') | Some(b'%') | Some(b'^')
+        | Some(b'|') | Some(b'&') => bytes.get(t + 1) == Some(&b'='),
+        Some(b'<') => bytes.get(t + 1) == Some(&b'<') && bytes.get(t + 2) == Some(&b'='),
+        Some(b'>') => bytes.get(t + 1) == Some(&b'>') && bytes.get(t + 2) == Some(&b'='),
+        _ => false,
+    }
+}
+
+/// `CamelCase` → `kebab-case`, matching `aria_core::effects::handler_name`.
+fn kebab(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('-');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Handler extraction
+// ---------------------------------------------------------------------
+
+/// One `Event::Variant => …` arm of the dispatch match.
+struct Arm {
+    variant: String,
+    body: Range<usize>,
+}
+
+/// Parses the arms of the `match event { … }` inside `fn handle`.
+/// Occurrences of `Event::…` *inside* arm bodies are skipped by jumping
+/// the scan past each parsed body.
+fn parse_handle_arms(file: &SourceFile, handle: &FnItem) -> Vec<Arm> {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    let Some(m) = find_words(code, handle.body.clone(), "match").first().copied() else {
+        return Vec::new();
+    };
+    let Some(open) = code[m..handle.body.end].find('{').map(|o| m + o) else { return Vec::new() };
+    let interior = (open + 1)..skip_balanced(bytes, open).saturating_sub(1);
+    let mut arms = Vec::new();
+    let mut at = interior.start;
+    while let Some(found) = code[at..interior.end].find("Event::") {
+        let pos = at + found;
+        at = pos + 7;
+        if pos > 0 && is_ident(bytes[pos - 1]) {
+            continue;
+        }
+        let vs = pos + 7;
+        let mut p = vs;
+        while p < bytes.len() && is_ident(bytes[p]) {
+            p += 1;
+        }
+        if p == vs {
+            continue;
+        }
+        let variant = code[vs..p].to_string();
+        p = skip_ws(bytes, p);
+        if p < interior.end && (bytes[p] == b'{' || bytes[p] == b'(') {
+            p = skip_balanced(bytes, p); // destructured payload
+            p = skip_ws(bytes, p);
+        }
+        if !code[p..].starts_with("=>") {
+            continue; // an `Event::…` expression, not an arm pattern
+        }
+        p = skip_ws(bytes, p + 2);
+        let body = if bytes.get(p) == Some(&b'{') {
+            let e = skip_balanced(bytes, p);
+            (p + 1)..e.saturating_sub(1)
+        } else {
+            let mut q = p;
+            let mut depth = 0i32;
+            while q < interior.end {
+                match bytes[q] {
+                    b'(' | b'[' | b'{' => depth += 1,
+                    b')' | b']' | b'}' => depth -= 1,
+                    b',' if depth == 0 => break,
+                    _ => {}
+                }
+                q += 1;
+            }
+            p..q
+        };
+        at = body.end;
+        arms.push(Arm { variant, body });
+    }
+    arms
+}
+
+/// The entry call of an arm: `self.deliver(to, msg)` → `deliver`;
+/// anything else is `inline`.
+fn entry_of(code: &str, body: &Range<usize>) -> String {
+    let text = code[body.clone()].trim_start();
+    if let Some(rest) = text.strip_prefix("self.") {
+        let ident: String =
+            rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+        if !ident.is_empty() && rest[ident.len()..].starts_with('(') {
+            return ident;
+        }
+    }
+    "inline".to_string()
+}
+
+/// One handler's transitive effect summary.
+pub struct Handler {
+    entry: String,
+    methods: BTreeSet<String>,
+    reads: BTreeSet<String>,
+    pub writes: BTreeSet<String>,
+}
+
+/// An RNG stream ownership record.
+struct RngStream {
+    file: String,
+    func: String,
+    stream: u64,
+    line: usize,
+}
+
+/// The full analysis result.
+pub struct Analysis {
+    pub diagnostics: Vec<Diagnostic>,
+    pub handlers: BTreeMap<String, Handler>,
+    streams: Vec<RngStream>,
+    pub json: String,
+}
+
+// ---------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------
+
+/// **deliver-choke**: any statement containing both `schedule` and a
+/// word-bounded `Event::Deliver` must sit inside the world file's
+/// `transmit` (or carry an `effects:allow(deliver-choke)` comment).
+fn check_deliver_choke(
+    file: &SourceFile,
+    fns: &[FnItem],
+    is_world: bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    for pos in find_words(code, 0..code.len(), "Event::Deliver") {
+        let mut s = pos;
+        while s > 0 && !matches!(bytes[s - 1], b';' | b'{' | b'}') {
+            s -= 1;
+        }
+        if !contains_word(&code[s..pos], "schedule") {
+            continue;
+        }
+        if is_world && enclosing_fn(fns, pos).is_some_and(|f| f.name == "transmit") {
+            continue;
+        }
+        if file.allowed("deliver-choke", file.line_of(s), file.line_of(pos)) {
+            continue;
+        }
+        diags.push(file.diag(
+            pos,
+            "deliver-choke",
+            "Event::Deliver scheduled outside World::transmit - handlers must route every \
+             remote-state write through the transmit choke point"
+                .to_string(),
+        ));
+    }
+}
+
+/// **fork-stream** (part 1): every `.fork(arg)` must pass an integer
+/// literal; literal sites are recorded for the ownership post-pass.
+fn check_forks(
+    file: &SourceFile,
+    fns: &[FnItem],
+    streams: &mut Vec<RngStream>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    let mut at = 0;
+    while let Some(found) = code[at..].find(".fork(") {
+        let pos = at + found;
+        at = pos + 6;
+        let open = pos + 5;
+        let end = skip_balanced(bytes, open);
+        let arg = code[open + 1..end.saturating_sub(1)].trim();
+        if arg.is_empty() || !arg.bytes().all(|b| b.is_ascii_digit() || b == b'_') {
+            if !file.allowed("fork-stream", file.line_of(pos), file.line_of(pos)) {
+                diags.push(file.diag(
+                    pos,
+                    "fork-stream",
+                    format!(
+                        "rng fork with non-literal stream id `{arg}` - stream ids must be \
+                         integer literals so stream ownership is statically provable"
+                    ),
+                ));
+            }
+            continue;
+        }
+        let stream: u64 = arg.replace('_', "").parse().unwrap_or(u64::MAX);
+        let func =
+            enclosing_fn(fns, pos).map_or_else(|| "<top>".to_string(), |f| f.name.clone());
+        streams.push(RngStream { file: file.rel.clone(), func, stream, line: file.line_of(pos) });
+    }
+}
+
+/// **fork-stream** (part 2): each `(file, stream)` pair must be forked
+/// from exactly one function.
+fn check_stream_ownership(streams: &[RngStream], diags: &mut Vec<Diagnostic>) {
+    let mut owners: BTreeMap<(&str, u64), BTreeSet<&str>> = BTreeMap::new();
+    for s in streams {
+        owners.entry((&s.file, s.stream)).or_default().insert(&s.func);
+    }
+    for s in streams {
+        let fns = &owners[&(s.file.as_str(), s.stream)];
+        if fns.len() > 1 {
+            let list: Vec<&str> = fns.iter().copied().collect();
+            diags.push(Diagnostic {
+                path: s.file.clone(),
+                line: s.line,
+                rule: "fork-stream",
+                message: format!(
+                    "rng stream {} is forked from multiple fns ({}) - each stream id must \
+                     have exactly one owner per file",
+                    s.stream,
+                    list.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+/// **handler-collections**: hash-order collections in handler-reachable
+/// ranges. `det:allow` escapes the global lint, not this rule.
+fn check_handler_collections(
+    file: &SourceFile,
+    ranges: &[Range<usize>],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut seen = BTreeSet::new();
+    for range in ranges {
+        for pat in HASH_PATTERNS {
+            for pos in find_words(&file.code, range.clone(), pat) {
+                let line = file.line_of(pos);
+                if seen.insert((line, *pat)) {
+                    diags.push(file.diag(
+                        pos,
+                        "handler-collections",
+                        format!(
+                            "`{pat}` in handler-reachable code - hash iteration order leaks \
+                             into the event schedule; det:allow is not honored here"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The analysis driver
+// ---------------------------------------------------------------------
+
+/// Runs the whole static pass over in-memory `(rel_path, text)` pairs.
+/// `world_rel` names the file holding `struct World` + `fn handle`;
+/// `field_classes` must be sorted by field name.
+pub fn analyze_sources(
+    files: &[(String, String)],
+    world_rel: &str,
+    field_classes: &[(&str, &str)],
+) -> Analysis {
+    let mut diags = Vec::new();
+    let mut streams = Vec::new();
+    let mut handlers = BTreeMap::new();
+    let mut choke_ok = false;
+    for (rel, text) in files {
+        let file = SourceFile::parse(rel, text);
+        let fns = parse_fns(&file.code);
+        let is_world = rel == world_rel;
+        check_deliver_choke(&file, &fns, is_world, &mut diags);
+        check_forks(&file, &fns, &mut streams, &mut diags);
+        if !is_world {
+            continue;
+        }
+        // choke-marker: the annotated transmit must exist.
+        let has_marker = file.comments.iter().any(|c| c.contains(CHOKE_MARKER));
+        let has_transmit = fns.iter().any(|f| f.name == "transmit");
+        choke_ok = has_marker && has_transmit;
+        if !choke_ok {
+            diags.push(Diagnostic {
+                path: rel.clone(),
+                line: 0,
+                rule: "choke-marker",
+                message: format!(
+                    "the world source must define `fn transmit` carrying a `{CHOKE_MARKER}` \
+                     marker comment"
+                ),
+            });
+        }
+        // field-classes: the struct and the class table must agree.
+        let parsed = parse_world_fields(&file);
+        for field in &parsed {
+            if field_classes.binary_search_by(|(f, _)| (*f).cmp(field)).is_err() {
+                diags.push(Diagnostic {
+                    path: rel.clone(),
+                    line: 0,
+                    rule: "effect-field",
+                    message: format!(
+                        "World field `{field}` has no effect class - add it to FIELD_CLASSES \
+                         and to the runtime fingerprints (crates/core/src/effects.rs)"
+                    ),
+                });
+            }
+        }
+        for (field, _) in field_classes {
+            if !parsed.iter().any(|f| f == field) {
+                diags.push(Diagnostic {
+                    path: rel.clone(),
+                    line: 0,
+                    rule: "effect-field",
+                    message: format!(
+                        "FIELD_CLASSES declares `{field}` but struct World has no such field"
+                    ),
+                });
+            }
+        }
+        // Handler call graph + transitive effect closure.
+        let fn_map: BTreeMap<&str, &FnItem> =
+            fns.iter().rev().map(|f| (f.name.as_str(), f)).collect();
+        let Some(handle) = fn_map.get("handle") else {
+            diags.push(Diagnostic {
+                path: rel.clone(),
+                line: 0,
+                rule: "effect-call",
+                message: "no `fn handle` dispatch found in the world source".to_string(),
+            });
+            continue;
+        };
+        let arms = parse_handle_arms(&file, handle);
+        let mut cache: BTreeMap<String, Effects> = BTreeMap::new();
+        let mut reachable: Vec<Range<usize>> = arms.iter().map(|a| a.body.clone()).collect();
+        for arm in &arms {
+            let mut fx = analyze_range(&file, arm.body.clone(), field_classes, &mut diags);
+            let mut seen: BTreeSet<String> = BTreeSet::new();
+            let mut work: Vec<String> = fx.calls.iter().cloned().collect();
+            while let Some(name) = work.pop() {
+                if !seen.insert(name.clone()) {
+                    continue;
+                }
+                if !cache.contains_key(&name) {
+                    let sub = match fn_map.get(name.as_str()) {
+                        Some(f) => {
+                            reachable.push(f.body.clone());
+                            analyze_range(&file, f.body.clone(), field_classes, &mut diags)
+                        }
+                        None => {
+                            diags.push(Diagnostic {
+                                path: rel.clone(),
+                                line: 0,
+                                rule: "effect-call",
+                                message: format!(
+                                    "handler-reachable call `self.{name}(..)` does not resolve \
+                                     to a method in {rel}"
+                                ),
+                            });
+                            Effects::default()
+                        }
+                    };
+                    cache.insert(name.clone(), sub);
+                }
+                let sub = cache[&name].clone();
+                fx.reads.extend(sub.reads);
+                fx.writes.extend(sub.writes);
+                work.extend(sub.calls.into_iter().filter(|c| !seen.contains(c)));
+            }
+            let reads: BTreeSet<String> = fx.reads.difference(&fx.writes).cloned().collect();
+            handlers.insert(
+                kebab(&arm.variant),
+                Handler {
+                    entry: entry_of(&file.code, &arm.body),
+                    methods: seen,
+                    reads,
+                    writes: fx.writes,
+                },
+            );
+        }
+        reachable.sort_by_key(|r| r.start);
+        reachable.dedup_by_key(|r| r.start);
+        check_handler_collections(&file, &reachable, &mut diags);
+    }
+    check_stream_ownership(&streams, &mut diags);
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    streams.sort_by(|a, b| (&a.file, a.stream, &a.func).cmp(&(&b.file, b.stream, &b.func)));
+    let json = render_json(&handlers, &streams, choke_ok, world_rel);
+    Analysis { diagnostics: diags, handlers, streams, json }
+}
+
+/// Loads and analyzes the real tree under `root`.
+pub fn analyze(root: &Path) -> Analysis {
+    let mut files = Vec::new();
+    for name in EFFECTS_CRATES {
+        for path in source::crate_sources(root, name) {
+            let rel =
+                path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            let text = std::fs::read_to_string(&path).unwrap_or_default();
+            files.push((rel, text));
+        }
+    }
+    analyze_sources(&files, WORLD_FILE, FIELD_CLASSES)
+}
+
+// ---------------------------------------------------------------------
+// Deterministic JSON rendering
+// ---------------------------------------------------------------------
+
+fn push_list(out: &mut String, indent: &str, items: &BTreeSet<String>) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = indent; // items are short; keep them on one line
+        out.push('"');
+        out.push_str(item);
+        out.push('"');
+    }
+    out.push(']');
+}
+
+/// Renders the committed map. Pure function of the analysis → `--check`
+/// can byte-compare; no line numbers or timestamps appear.
+fn render_json(
+    handlers: &BTreeMap<String, Handler>,
+    streams: &[RngStream],
+    choke_ok: bool,
+    world_rel: &str,
+) -> String {
+    let mut o = String::new();
+    o.push_str("{\n  \"schema\": \"aria-effects\",\n  \"version\": 1,\n  \"crates\": [");
+    for (i, c) in EFFECTS_CRATES.iter().enumerate() {
+        if i > 0 {
+            o.push_str(", ");
+        }
+        o.push_str(&format!("\"{c}\""));
+    }
+    o.push_str("],\n  \"effect_classes\": {\n");
+    for (i, (name, desc)) in EFFECT_CLASSES.iter().enumerate() {
+        let comma = if i + 1 < EFFECT_CLASSES.len() { "," } else { "" };
+        o.push_str(&format!("    \"{name}\": \"{desc}\"{comma}\n"));
+    }
+    o.push_str("  },\n  \"field_classes\": {\n");
+    for (i, (field, class)) in FIELD_CLASSES.iter().enumerate() {
+        let comma = if i + 1 < FIELD_CLASSES.len() { "," } else { "" };
+        o.push_str(&format!("    \"{field}\": \"{class}\"{comma}\n"));
+    }
+    o.push_str("  },\n  \"rng_streams\": [\n");
+    for (i, s) in streams.iter().enumerate() {
+        let comma = if i + 1 < streams.len() { "," } else { "" };
+        o.push_str(&format!(
+            "    {{\"file\": \"{}\", \"fn\": \"{}\", \"stream\": {}}}{comma}\n",
+            s.file, s.func, s.stream
+        ));
+    }
+    o.push_str("  ],\n  \"choke_points\": {");
+    if choke_ok {
+        o.push_str(&format!("\n    \"deliver\": \"{world_rel}::transmit\"\n  "));
+    }
+    o.push_str("},\n  \"handlers\": {\n");
+    for (i, (name, h)) in handlers.iter().enumerate() {
+        o.push_str(&format!("    \"{name}\": {{\n      \"entry\": \"{}\",\n", h.entry));
+        o.push_str("      \"methods\": ");
+        push_list(&mut o, "      ", &h.methods);
+        o.push_str(",\n      \"reads\": ");
+        push_list(&mut o, "      ", &h.reads);
+        o.push_str(",\n      \"writes\": ");
+        push_list(&mut o, "      ", &h.writes);
+        let comma = if i + 1 < handlers.len() { "," } else { "" };
+        o.push_str(&format!("\n    }}{comma}\n"));
+    }
+    o.push_str("  },\n  \"rules\": {\n");
+    for (i, (name, desc)) in RULE_DOCS.iter().enumerate() {
+        let comma = if i + 1 < RULE_DOCS.len() { "," } else { "" };
+        o.push_str(&format!("    \"{name}\": \"{desc}\"{comma}\n"));
+    }
+    o.push_str("  }\n}\n");
+    o
+}
+
+// ---------------------------------------------------------------------
+// CLI
+// ---------------------------------------------------------------------
+
+const USAGE: &str = "usage: cargo xtask effects [--check | --self-check | --audit [--out PATH]]";
+
+/// Entry point for `cargo xtask effects`.
+pub fn run(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        None => generate(false),
+        Some("--check") => generate(true),
+        Some("--self-check") => match self_check_cases() {
+            Ok(()) => {
+                println!("effects --self-check: every planted violation was caught");
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("effects --self-check: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("--audit") => {
+            let out = match args.get(1).map(String::as_str) {
+                Some("--out") => match args.get(2) {
+                    Some(path) => Some(path.as_str()),
+                    None => {
+                        eprintln!("xtask effects: --out needs a path\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                Some(other) => {
+                    eprintln!("xtask effects: unknown flag `{other}`\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+                None => None,
+            };
+            audit(out)
+        }
+        Some(other) => {
+            eprintln!("xtask effects: unknown flag `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Default mode writes `EFFECTS.json`; `--check` regenerates and
+/// byte-compares against the committed map.
+fn generate(check: bool) -> ExitCode {
+    let root = workspace_root();
+    let analysis = analyze(&root);
+    if !analysis.diagnostics.is_empty() {
+        for d in &analysis.diagnostics {
+            eprintln!("{d}");
+        }
+        eprintln!("xtask effects: {} violation(s)", analysis.diagnostics.len());
+        return ExitCode::FAILURE;
+    }
+    let summary = format!(
+        "{} handler(s), {} effect class(es), {} rng stream(s)",
+        analysis.handlers.len(),
+        EFFECT_CLASSES.len(),
+        analysis.streams.len()
+    );
+    let path = root.join(EFFECTS_PATH);
+    if check {
+        let committed = std::fs::read_to_string(&path).unwrap_or_default();
+        if committed == analysis.json {
+            println!("xtask effects --check: clean tree, {EFFECTS_PATH} is current ({summary})");
+            return ExitCode::SUCCESS;
+        }
+        for (i, (a, b)) in committed.lines().zip(analysis.json.lines()).enumerate() {
+            if a != b {
+                eprintln!("xtask effects: {EFFECTS_PATH} line {}:", i + 1);
+                eprintln!("  committed: {a}");
+                eprintln!("  current:   {b}");
+                break;
+            }
+        }
+        eprintln!(
+            "xtask effects: {EFFECTS_PATH} is stale - regenerate with `cargo xtask effects` \
+             and commit the result"
+        );
+        ExitCode::FAILURE
+    } else {
+        if let Err(error) = std::fs::write(&path, &analysis.json) {
+            eprintln!("xtask effects: cannot write {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("xtask effects: wrote {EFFECTS_PATH} ({summary})");
+        ExitCode::SUCCESS
+    }
+}
+
+// ---------------------------------------------------------------------
+// Self-check fixtures
+// ---------------------------------------------------------------------
+
+/// Field table for the fixture world (sorted).
+const MINI_FIELDS: &[(&str, &str)] = &[
+    ("events", "event-queue"),
+    ("metrics", "metrics"),
+    ("nodes", "node-state"),
+    ("rng", "rng-main"),
+];
+
+/// Builds the fixture world source: a dispatch over two events, a
+/// `deliver` handler with a caller-chosen body, and the marked
+/// `transmit` choke point.
+fn mini_world(handler_body: &str, extra: &str, marker: bool) -> String {
+    let marker_line =
+        if marker { "// effects:choke-point(deliver) - sole Deliver scheduling site." } else { "" };
+    format!(
+        "pub struct World {{\n    pub events: Queue,\n    pub metrics: Metrics,\n    \
+         pub nodes: Vec<Node>,\n    rng: Rng,\n}}\n\nimpl World {{\n    \
+         fn handle(&mut self, event: Event) {{\n        match event {{\n            \
+         Event::Deliver {{ to, msg }} => self.deliver(to, msg),\n            \
+         Event::Submit(spec) => self.submit(spec),\n        }}\n    }}\n\n    \
+         fn deliver(&mut self, to: usize, msg: Msg) {{\n        {handler_body}\n    }}\n\n    \
+         fn submit(&mut self, spec: Spec) {{\n        self.nodes[0].queue += 1;\n        \
+         self.transmit(0, Msg::Request);\n    }}\n\n    {marker_line}\n    \
+         fn transmit(&mut self, to: usize, msg: Msg) {{\n        \
+         let delay = self.rng.fork(1).jitter();\n        \
+         self.events.schedule(delay, Event::Deliver {{ to, msg }});\n    }}\n\n    {extra}\n}}\n"
+    )
+}
+
+/// Runs each planted-violation fixture through the full analyzer and
+/// demands the expected rule fires (and nothing fires on the clean
+/// fixture). The clean fixture also pins the extracted handler map.
+pub fn self_check_cases() -> Result<(), String> {
+    let clean_body = "self.nodes[to].queue += 1;\n        self.metrics.record(msg);";
+    let cases: Vec<(&str, String, Option<&str>)> = vec![
+        ("clean fixture", mini_world(clean_body, "", true), None),
+        (
+            "planted remote-queue write",
+            mini_world(
+                "self.events.schedule(now, Event::Deliver { to, msg });",
+                "",
+                true,
+            ),
+            Some("deliver-choke"),
+        ),
+        (
+            "duplicate stream owner",
+            mini_world(clean_body, "fn other(&mut self) { let r = self.rng.fork(1); }", true),
+            Some("fork-stream"),
+        ),
+        (
+            "non-literal stream id",
+            mini_world(clean_body, "fn derive(&mut self, k: u64) { let r = self.rng.fork(k); }", true),
+            Some("fork-stream"),
+        ),
+        (
+            "hash map in handler",
+            mini_world(
+                // det:allow escapes the lint, not the effects gate.
+                "let m: HashMap<u32, u32> = HashMap::new(); // det:allow(hash-collections): planted\n        \
+                 self.nodes[to].queue += 1;",
+                "",
+                true,
+            ),
+            Some("handler-collections"),
+        ),
+        (
+            "unknown field",
+            mini_world("self.shadow += 1;", "", true),
+            Some("effect-field"),
+        ),
+        ("missing choke marker", mini_world(clean_body, "", false), Some("choke-marker")),
+    ];
+    for (name, source, expect) in cases {
+        let analysis = analyze_sources(
+            &[(WORLD_FILE.to_string(), source)],
+            WORLD_FILE,
+            MINI_FIELDS,
+        );
+        match expect {
+            None => {
+                if !analysis.diagnostics.is_empty() {
+                    return Err(format!(
+                        "{name}: expected a clean pass, got: {}",
+                        analysis.diagnostics[0]
+                    ));
+                }
+                let deliver = analysis
+                    .handlers
+                    .get("deliver")
+                    .ok_or_else(|| format!("{name}: no `deliver` handler extracted"))?;
+                let submit = analysis
+                    .handlers
+                    .get("submit")
+                    .ok_or_else(|| format!("{name}: no `submit` handler extracted"))?;
+                if !deliver.writes.contains("node-state") || !deliver.writes.contains("metrics") {
+                    return Err(format!("{name}: deliver writes misclassified"));
+                }
+                // submit reaches transmit transitively: queue + rng writes.
+                if !submit.writes.contains("event-queue") || !submit.writes.contains("rng-main") {
+                    return Err(format!("{name}: transitive transmit effects missing on submit"));
+                }
+                println!("effects --self-check: {name}: clean, handler closure correct");
+            }
+            Some(rule) => {
+                let hit = analysis.diagnostics.iter().find(|d| d.rule == rule);
+                match hit {
+                    Some(d) => println!("effects --self-check: {name}: caught ({d})"),
+                    None => {
+                        return Err(format!(
+                            "{name}: expected a `{rule}` violation, analyzer saw {} other \
+                             diagnostic(s)",
+                            analysis.diagnostics.len()
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Runtime audit
+// ---------------------------------------------------------------------
+
+/// `--audit`: replays golden-shaped, churn, and lossy worlds under the
+/// [`aria_core::EffectAudit`] tracer and asserts every observed
+/// per-event touch is declared in the static map (observed ⊆ static).
+fn audit(out: Option<&str>) -> ExitCode {
+    use aria_core::{EffectAudit, FaultPlan, PartitionWindow, World, WorldConfig};
+    use aria_probe::NullProbe;
+    use aria_sim::{SimDuration, SimTime};
+    use aria_workload::{JobGenerator, SubmissionSchedule};
+
+    let root = workspace_root();
+    let analysis = analyze(&root);
+    if !analysis.diagnostics.is_empty() {
+        for d in &analysis.diagnostics {
+            eprintln!("{d}");
+        }
+        eprintln!("xtask effects --audit: static pass failed, not tracing");
+        return ExitCode::FAILURE;
+    }
+    let declared: BTreeMap<String, BTreeSet<String>> = analysis
+        .handlers
+        .iter()
+        .map(|(name, h)| (name.clone(), h.writes.iter().cloned().collect()))
+        .collect();
+    let mut audit = EffectAudit::new();
+    // The determinism-golden shape (tests/determinism_golden.rs): the
+    // iMixed scenario at 30 nodes / 15 jobs.
+    let runner = aria_scenarios::Runner::scaled(30, 15);
+    for seed in [11u64, 12] {
+        let mut world =
+            runner.build_world(aria_scenarios::Scenario::IMixed, seed, FaultPlan::none(), NullProbe);
+        world.run_effect_traced(&mut audit);
+    }
+    // Churn + lossy-transport worlds reach join/crash/fault handlers.
+    for (seed, faulted) in [(5u64, false), (6, true)] {
+        let mut config = WorldConfig::small_test(24);
+        config.joins = (0..4).map(|i| SimTime::from_mins(30 + 25 * i)).collect();
+        config.crashes = (0..3).map(|i| SimTime::from_mins(45 + 40 * i)).collect();
+        if faulted {
+            config.fault = FaultPlan {
+                loss: 0.15,
+                duplicate: 0.1,
+                jitter_ms: 400,
+                partitions: vec![PartitionWindow {
+                    start: SimTime::from_mins(60),
+                    duration: SimDuration::from_mins(10),
+                }],
+                keep: None,
+            };
+        }
+        let mut world = World::with_probe(config, seed, NullProbe);
+        let mut generator = JobGenerator::paper_batch();
+        let schedule =
+            SubmissionSchedule::new(SimTime::from_mins(1), SimDuration::from_secs(40), 12);
+        world.submit_schedule(&schedule, &mut generator);
+        world.run_effect_traced(&mut audit);
+    }
+    if let Some(path) = out {
+        if let Err(error) = std::fs::write(path, audit.to_jsonl()) {
+            eprintln!("xtask effects --audit: cannot write {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+        println!("xtask effects --audit: observed-effect trace written to {path}");
+    }
+    match audit.check_against(&declared) {
+        Ok(()) => {
+            println!(
+                "xtask effects --audit: {} event(s) traced across 4 world(s); every observed \
+                 touch is declared in {EFFECTS_PATH} (observed ⊆ static)",
+                audit.events()
+            );
+            for (handler, classes) in audit.observed() {
+                println!("  {handler}: {}", classes.join(", "));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("xtask effects --audit: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kebab_matches_runtime_handler_names() {
+        assert_eq!(kebab("Deliver"), "deliver");
+        assert_eq!(kebab("AcceptWindowClosed"), "accept-window-closed");
+        assert_eq!(kebab("RecoverJob"), "recover-job");
+        assert_eq!(kebab("PartitionStart"), "partition-start");
+    }
+
+    #[test]
+    fn fn_parser_crosses_generics_and_skips_declarations() {
+        let src = "fn pick<F: Fn() -> bool>(f: F) { body(); }\nfn decl();\nfn plain() { x(); }";
+        let file = SourceFile::parse("t.rs", src);
+        let fns = parse_fns(&file.code);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["pick", "plain"]);
+        assert!(file.code[fns[0].body.clone()].contains("body()"));
+    }
+
+    #[test]
+    fn cfg_test_cut_spares_mid_impl_test_helpers() {
+        let src = "impl W {\n    #[cfg(test)]\n    pub fn capacity(&self) -> usize { 1 }\n}\n\
+                   fn late() {}\n#[cfg(test)]\nmod tests {\n    fn gone() {}\n}\n";
+        let file = SourceFile::parse("t.rs", src);
+        assert!(file.code.contains("capacity"), "mid-impl helper must survive the cut");
+        assert!(file.code.contains("late"));
+        assert!(!file.code.contains("gone"), "test module must be cut");
+    }
+
+    #[test]
+    fn chain_classification_separates_reads_from_writes() {
+        let fields: &[(&str, &str)] = &[("jobs", "job-table"), ("nodes", "node-state")];
+        let src = "fn f(&mut self) {\n    let n = self.nodes.len();\n    if self.nodes[i].queue \
+                   >= cap { return; }\n    self.nodes[i].queue += 1;\n    \
+                   helper(&mut self.jobs);\n    let ok = self.jobs.len() == 2 || \
+                   self.nodes.is_empty();\n}\n";
+        let file = SourceFile::parse("t.rs", src);
+        let fns = parse_fns(&file.code);
+        let mut diags = Vec::new();
+        let fx = analyze_range(&file, fns[0].body.clone(), fields, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(fx.writes.contains("node-state"), "compound assignment is a write");
+        assert!(fx.writes.contains("job-table"), "&mut borrow is a write");
+        assert!(fx.reads.contains("node-state"), ">= and == comparisons stay reads");
+    }
+
+    #[test]
+    fn self_check_catches_every_planted_violation() {
+        self_check_cases().expect("self-check fixtures");
+    }
+
+    #[test]
+    fn real_tree_is_clean_and_extracts_all_handlers() {
+        let analysis = analyze(&workspace_root());
+        assert!(
+            analysis.diagnostics.is_empty(),
+            "effects violations on the tree:\n{}",
+            analysis
+                .diagnostics
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert_eq!(analysis.handlers.len(), 14, "{:?}", analysis.handlers.keys());
+        let deliver = &analysis.handlers["deliver"];
+        assert!(deliver.writes.contains("event-queue"), "deliveries schedule follow-ups");
+        assert!(deliver.writes.contains("node-state"));
+        assert!(!analysis.streams.is_empty());
+    }
+
+    /// The satellite golden: regenerating the map on an unchanged tree
+    /// is byte-identical to the committed `EFFECTS.json`.
+    #[test]
+    fn committed_effects_map_is_current() {
+        let root = workspace_root();
+        let analysis = analyze(&root);
+        let committed = std::fs::read_to_string(root.join(EFFECTS_PATH))
+            .expect("EFFECTS.json must be committed; run `cargo xtask effects`");
+        assert!(
+            committed == analysis.json,
+            "EFFECTS.json is stale - regenerate with `cargo xtask effects`"
+        );
+    }
+}

@@ -1,6 +1,6 @@
 //! Workspace automation (`cargo xtask <command>`).
 //!
-//! Three commands:
+//! Five commands:
 //!
 //! * `lint` — the determinism & protocol-hygiene gate described in
 //!   DESIGN.md §8. It walks the sim-reachable sources with a
@@ -8,6 +8,13 @@
 //!   `syn`), applies the rules in [`rules`], checks every crate root for
 //!   the mandatory hygiene attributes, and exits non-zero with
 //!   `file:line` diagnostics on any violation.
+//! * `effects` — the effect-map analyzer described in DESIGN.md §13: a
+//!   method-level pass over the `World` handler call graph that
+//!   classifies every `self.<field>` access into effect classes,
+//!   enforces the parallel-safety rules (transmit choke point, forked
+//!   RNG stream ownership, no handler-reachable unordered containers),
+//!   and emits the committed `EFFECTS.json` the sharded runner will be
+//!   built along (see [`effects`]).
 //! * `explore` — bounded exhaustive exploration of the ARiA message
 //!   state machine over every delivery ordering of a small world (see
 //!   [`explore`] and `crates/model`).
@@ -23,6 +30,10 @@
 //! cargo xtask lint                  # gate the workspace
 //! cargo xtask lint --self-check     # prove the gate still catches seeded violations
 //! cargo xtask lint --list           # print the files the gate scans
+//! cargo xtask effects               # regenerate EFFECTS.json + summary
+//! cargo xtask effects --check       # diff regeneration against the committed map
+//! cargo xtask effects --self-check  # prove the analyzer catches planted violations
+//! cargo xtask effects --audit       # runtime tracer: observed ⊆ static on goldens
 //! cargo xtask explore --nodes 4     # enumerate a 4-node world's orderings
 //! cargo xtask explore --self-check  # prove the checker still catches violations
 //! cargo xtask probe run --scenario iMixed --scale 40 80 --out t.jsonl
@@ -35,30 +46,20 @@
 #![deny(rust_2018_idioms)]
 
 mod chaos;
+mod effects;
 mod explore;
 mod probe;
 mod rules;
 mod scan;
+mod source;
 
 use rules::Diagnostic;
-use std::path::{Path, PathBuf};
+use source::{crate_roots, sim_reachable_sources, workspace_root};
+use std::path::Path;
 use std::process::ExitCode;
 
-/// Crates whose code runs inside (or builds the state of) the
-/// discrete-event simulation: the determinism rules apply to their
-/// sources, tests included.
-const SIM_REACHABLE_CRATES: &[&str] = &[
-    "sim", "overlay", "grid", "workload", "metrics", "jsdl", "trace", "core", "probe", "model",
-    "scenarios",
-];
-
-/// Top-level directories compiled into sim-reachable test/example
-/// targets (they live outside `crates/` but drive the same worlds).
-const SIM_REACHABLE_DIRS: &[&str] = &["tests", "examples"];
-
-/// Crates exempt from the determinism rules (but not from the attribute
-/// check): `bench` times wall-clock throughput by design, `xtask` is
-/// this tool, and `vendor/*` are offline stand-ins for external crates.
+/// Printed alongside a clean lint run so the exemption story stays
+/// visible (the authoritative list lives in [`source::EXEMPT_CRATES`]).
 const EXEMPT_NOTE: &str = "crates/bench, crates/xtask and vendor/* are exempt from \
                            determinism rules (wall-clock timing is their job)";
 
@@ -74,38 +75,17 @@ fn main() -> ExitCode {
                 lint(&workspace_root())
             }
         }
+        Some("effects") => effects::run(&args[1..]),
         Some("explore") => explore::run(&args[1..]),
         Some("probe") => probe::run(&args[1..]),
         Some("chaos") => chaos::run(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo xtask <lint [--self-check|--list] | explore [flags] | probe <cmd> \
+                "usage: cargo xtask <lint [--self-check|--list] \
+                 | effects [--check|--self-check|--audit] | explore [flags] | probe <cmd> \
                  | chaos [flags]>"
             );
             ExitCode::FAILURE
-        }
-    }
-}
-
-/// Locates the workspace root: the nearest ancestor of the current
-/// directory (or of this crate's manifest) containing a top-level
-/// `Cargo.toml` with a `[workspace]` table.
-fn workspace_root() -> PathBuf {
-    let start = std::env::var("CARGO_MANIFEST_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| std::env::current_dir().expect("current dir"));
-    let mut dir = start.as_path();
-    loop {
-        let manifest = dir.join("Cargo.toml");
-        if manifest.is_file() {
-            let text = std::fs::read_to_string(&manifest).unwrap_or_default();
-            if text.contains("[workspace]") {
-                return dir.to_path_buf();
-            }
-        }
-        match dir.parent() {
-            Some(parent) => dir = parent,
-            None => panic!("no workspace root above {}", start.display()),
         }
     }
 }
@@ -139,6 +119,25 @@ fn lint(root: &Path) -> ExitCode {
         diagnostics.extend(rules::check_crate_attrs(&rel, &text));
     }
 
+    // 3. Crate-set coverage: every `crates/*` member must be either
+    //    sim-reachable (scanned) or explicitly exempt — a new crate
+    //    cannot silently land outside the gate.
+    for member in source::workspace_crates(root) {
+        if !source::SIM_REACHABLE_CRATES.contains(&member.as_str())
+            && !source::EXEMPT_CRATES.contains(&member.as_str())
+        {
+            diagnostics.push(Diagnostic {
+                path: format!("crates/{member}"),
+                line: 0,
+                rule: "crate-coverage",
+                message: format!(
+                    "crate `{member}` is neither sim-reachable nor exempt - categorize it in \
+                     crates/xtask/src/source.rs"
+                ),
+            });
+        }
+    }
+
     report(&diagnostics);
     if diagnostics.is_empty() {
         println!(
@@ -165,53 +164,6 @@ fn list_scanned(root: &Path) -> ExitCode {
 fn report(diagnostics: &[Diagnostic]) {
     for d in diagnostics {
         eprintln!("{d}");
-    }
-}
-
-/// Every `.rs` file the determinism rules apply to, in sorted order.
-fn sim_reachable_sources(root: &Path) -> Vec<PathBuf> {
-    let mut files = Vec::new();
-    for name in SIM_REACHABLE_CRATES {
-        collect_rs(&root.join("crates").join(name), &mut files);
-    }
-    for dir in SIM_REACHABLE_DIRS {
-        collect_rs(&root.join(dir), &mut files);
-    }
-    files.sort();
-    files
-}
-
-/// The crate-root source of every workspace member (crates/* and
-/// vendor/*), in sorted order.
-fn crate_roots(root: &Path) -> Vec<PathBuf> {
-    let mut roots = Vec::new();
-    for group in ["crates", "vendor"] {
-        let Ok(entries) = std::fs::read_dir(root.join(group)) else { continue };
-        for entry in entries.flatten() {
-            let src = entry.path().join("src");
-            for candidate in [src.join("lib.rs"), src.join("main.rs")] {
-                if candidate.is_file() {
-                    roots.push(candidate);
-                    break;
-                }
-            }
-        }
-    }
-    roots.sort();
-    roots
-}
-
-/// Recursively collects `.rs` files under `dir` (sorted traversal).
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else { return };
-    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
-    paths.sort();
-    for path in paths {
-        if path.is_dir() {
-            collect_rs(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
     }
 }
 
@@ -258,6 +210,29 @@ fn self_check_gate() -> ExitCode {
                  let wide = spec.min_memory_gb as u64 * GIB;\n";
     if !rules::check_determinism("<self-check>", clean).is_empty() {
         eprintln!("self-check: float rules over-match integer-only code");
+        broken += 1;
+    }
+    // Line attribution must not drift past escaped char literals or
+    // multiline string literals: a violation *after* them has to be
+    // reported at its true line, and a violation *inside* a string must
+    // not fire at all. (Regression fixture for the `'\\'` lexer bug that
+    // left the scanner stuck in string mode.)
+    let drift = "let sep = '\\\\';\nlet msg = \"multi\nline don't\nstring\";\nlet t = Instant::now();\n";
+    let diags = rules::check_determinism("<self-check>", drift);
+    if diags.len() != 1 || diags[0].rule != "wall-clock" || diags[0].line != 5 {
+        eprintln!(
+            "self-check: line attribution drifts past escaped literals / multiline strings \
+             (want exactly one wall-clock violation at line 5, got {diags:?})"
+        );
+        broken += 1;
+    }
+    let raw = "let r = r#\"raw\nInstant::now()\nspan\"#;\nlet rng = rand::thread_rng();\n";
+    let diags = rules::check_determinism("<self-check>", raw);
+    if diags.len() != 1 || diags[0].rule != "ambient-rng" || diags[0].line != 4 {
+        eprintln!(
+            "self-check: raw-string contents leak into the scan or shift later lines \
+             (want exactly one ambient-rng violation at line 4, got {diags:?})"
+        );
         broken += 1;
     }
     // The attribute check must notice a bare crate root.

@@ -12,6 +12,7 @@
 //! reason-carrying allowlists).
 
 use crate::scan::{contains_word, split_channels, Line};
+use crate::source::expr_start;
 
 /// A lint diagnostic pointing at one source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,11 +43,19 @@ struct Rule {
     why: &'static str,
 }
 
+/// Randomized-layout collection patterns. Shared with the effect-map
+/// analyzer ([`crate::effects`]), whose handler-reachability rule
+/// re-applies them to `World` handler closures *without* honoring
+/// `det:allow` escapes — an allowlisted map elsewhere in a file must not
+/// leak into the parallel-safety-critical handler code.
+pub const HASH_PATTERNS: &[&str] =
+    &["HashMap", "HashSet", "hash_map", "hash_set", "DefaultHasher", "RandomState"];
+
 /// The determinism rules applied to sim-reachable sources.
 const RULES: &[Rule] = &[
     Rule {
         name: "hash-collections",
-        patterns: &["HashMap", "HashSet", "hash_map", "hash_set", "DefaultHasher", "RandomState"],
+        patterns: HASH_PATTERNS,
         why: "randomized-layout collection: iteration order varies per process; \
               use BTreeMap/BTreeSet (or a dense Vec table) so seeded runs replay bit-for-bit",
     },
@@ -177,13 +186,13 @@ const FLOAT_METHODS: &[&str] = &[
 /// Detects a lossy float→integer cast on one code line.
 ///
 /// For every `as <int-type>` the expression to the left of the `as` is
-/// recovered by a backward scan balanced over `()[]{}` (stopping at a
-/// top-level `;`, `,`, `=` or an unmatched opening bracket). The cast is
-/// flagged when that expression shows float evidence: an `f64`/`f32`
-/// token, a float literal (`2.0`), or a float-typed method call. Pure
-/// integer casts (`len() as u64`, `slack as u64`) never match.
+/// recovered with [`expr_start`] (the shared backward scan balanced over
+/// `()[]{}`, stopping at a top-level `;`, `,`, `=` or an unmatched
+/// opening bracket). The cast is flagged when that expression shows
+/// float evidence: an `f64`/`f32` token, a float literal (`2.0`), or a
+/// float-typed method call. Pure integer casts (`len() as u64`,
+/// `slack as u64`) never match.
 fn lossy_float_cast(code: &str) -> bool {
-    let bytes = code.as_bytes();
     let mut search = 0;
     while let Some(pos) = code[search..].find(" as ") {
         let at = search + pos;
@@ -194,21 +203,7 @@ fn lossy_float_cast(code: &str) -> bool {
         if !INT_TARGETS.contains(&target.as_str()) {
             continue;
         }
-        // Backward scan for the casted expression.
-        let mut depth = 0i32;
-        let mut start = at;
-        while start > 0 {
-            let c = bytes[start - 1] as char;
-            match c {
-                ')' | ']' | '}' => depth += 1,
-                '(' | '[' | '{' if depth == 0 => break,
-                '(' | '[' | '{' => depth -= 1,
-                ';' | ',' | '=' if depth == 0 => break,
-                _ => {}
-            }
-            start -= 1;
-        }
-        let expr = &code[start..at];
+        let expr = &code[expr_start(code, at)..at];
         let literal = expr.as_bytes().windows(3).any(|w| {
             w[1] == b'.' && w[0].is_ascii_digit() && w[2].is_ascii_digit()
         });

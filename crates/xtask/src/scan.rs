@@ -177,21 +177,33 @@ fn closes_raw(bytes: &[char], pos: usize, hashes: u32) -> bool {
 
 /// If `bytes[pos]` (a `'`) opens a char literal, returns the index of
 /// its closing quote; `None` for lifetimes.
+///
+/// Escapes are parsed precisely rather than "scan to the next quote":
+/// the closing quote of `'\\'` is the very next character, and a sloppy
+/// scan used to run past it, swallow an apostrophe later on the line
+/// (even one inside a string literal) and leave the lexer in the wrong
+/// mode for every following line — which is how lint spans drifted past
+/// multiline strings. See `escaped_char_literals_close_precisely`.
 fn char_literal_end(bytes: &[char], pos: usize) -> Option<usize> {
     let next = *bytes.get(pos + 1)?;
     if next == '\\' {
-        // Escaped char: scan to the next unescaped quote.
-        let mut p = pos + 2;
-        while p < bytes.len() {
-            if bytes[p] == '\\' {
-                p += 2;
-            } else if bytes[p] == '\'' {
-                return Some(p);
-            } else {
-                p += 1;
+        // The escape body: `\x41` (two hex digits), `\u{…}` (braced
+        // hex), or a single-character escape (`\n`, `\\`, `\'`, …).
+        let close = match bytes.get(pos + 2)? {
+            'x' => pos + 5,
+            'u' => {
+                if bytes.get(pos + 3) != Some(&'{') {
+                    return None;
+                }
+                let mut p = pos + 4;
+                while bytes.get(p).is_some_and(|c| *c != '}') {
+                    p += 1;
+                }
+                p + 1
             }
-        }
-        None
+            _ => pos + 3,
+        };
+        (bytes.get(close) == Some(&'\'')).then_some(close)
     } else if bytes.get(pos + 2) == Some(&'\'') && next != '\'' {
         Some(pos + 2)
     } else {
@@ -274,6 +286,47 @@ mod tests {
         let code = code_of(r#"let s = "a\"HashMap\""; let t = 1;"#);
         assert!(!code[0].contains("HashMap"));
         assert!(code[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn escaped_char_literals_close_precisely() {
+        // `'\\'` closes at the very next quote; the old scan ran past it
+        // and matched the apostrophe inside the following string, eating
+        // the string's opening `"` and corrupting every later line.
+        let src = "let c = '\\\\'; let s = \"don't\";\nlet t = Instant::now();";
+        let code = code_of(src);
+        assert!(!code[0].contains("don"), "string contents must be blanked: {:?}", code[0]);
+        assert!(
+            code[1].contains("Instant::now()"),
+            "line after the literal must stay in code mode: {:?}",
+            code[1]
+        );
+        // `'\''` closes at the quote *after* the escaped quote.
+        let code = code_of("let q = '\\''; let u = 1;");
+        assert!(code[0].contains("let u = 1;"), "{:?}", code[0]);
+        // Hex and unicode escape bodies are consumed exactly.
+        let code = code_of("let a = '\\x41'; let b = '\\u{1F600}'; let v = 2;");
+        assert!(code[0].contains("let v = 2;"), "{:?}", code[0]);
+        assert!(!code[0].contains("x41"), "{:?}", code[0]);
+        assert!(!code[0].contains("1F600"), "{:?}", code[0]);
+    }
+
+    #[test]
+    fn line_numbers_do_not_drift_past_escaped_literals() {
+        // Regression fixture for lint span attribution: a violation on a
+        // known line *after* a tricky literal + multiline string must be
+        // reported on its own line, not swallowed or shifted.
+        let src = "let sep = '\\\\';\nlet s = \"multi\nline don't\nstring\";\nlet t = Instant::now();\n";
+        let lines = split_channels(src);
+        assert_eq!(lines[4].number, 5);
+        assert!(
+            lines[4].code.contains("Instant::now()"),
+            "line 5 must be visible code: {:?}",
+            lines[4].code
+        );
+        for mid in &lines[1..4] {
+            assert!(!mid.code.contains("don"), "string body leaked into code: {:?}", mid.code);
+        }
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! The effect map's integration gates (DESIGN.md §13).
+//!
+//! Three claims tie the committed `EFFECTS.json` to the running system:
+//!
+//! 1. **Coverage** — the static map names exactly the handlers the
+//!    runtime dispatches, and every runtime-fingerprinted effect class
+//!    is declared.
+//! 2. **Transparency** — running under the [`EffectAudit`] tracer is a
+//!    pure observation: the determinism goldens stay bit-for-bit
+//!    identical to untraced runs *and* to their recorded values.
+//! 3. **Soundness** — across randomized interleavings of joins,
+//!    crashes, transport faults and protocol steps, the tracer never
+//!    observes a handler touching a class outside its declared write
+//!    set (observed ⊆ static).
+//!
+//! The companion golden — regenerating the map on an unchanged tree is
+//! byte-identical — lives with the analyzer
+//! (`crates/xtask/src/effects.rs::committed_effects_map_is_current`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use aria_core::{EffectAudit, FaultPlan, PartitionWindow, WorldConfig};
+use aria_metrics::TrafficClass;
+use aria_probe::NullProbe;
+use aria_scenarios::{Runner, Scenario};
+use aria_sim::{SimDuration, SimTime};
+use aria_workload::{JobGenerator, SubmissionSchedule};
+use proptest::prelude::*;
+
+/// Every handler the dispatch knows, in sorted order — kept in lockstep
+/// with `aria_core::effects::handler_name` and the analyzer's kebab
+/// conversion of the `Event` variants.
+const HANDLERS: &[&str] = &[
+    "accept-window-closed",
+    "assign-timeout",
+    "crash",
+    "deliver",
+    "dispatch-retry",
+    "execution-complete",
+    "inform-tick",
+    "join",
+    "partition-end",
+    "partition-start",
+    "recover-job",
+    "retry-request",
+    "sample",
+    "submit",
+];
+
+fn effects_json() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../EFFECTS.json");
+    std::fs::read_to_string(path)
+        .expect("EFFECTS.json must be committed; regenerate with `cargo xtask effects`")
+}
+
+/// The brace-balanced body of a top-level `"key": { … }` object.
+fn section(json: &str, key: &str) -> String {
+    let tag = format!("\"{key}\": {{");
+    let start = json.find(&tag).unwrap_or_else(|| panic!("no `{key}` section"));
+    let open = start + tag.len() - 1;
+    let bytes = json.as_bytes();
+    let mut depth = 0i32;
+    let mut i = open;
+    loop {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    json[open + 1..i].to_string()
+}
+
+/// Handler → declared write set, parsed from the committed map.
+fn declared_writes() -> BTreeMap<String, BTreeSet<String>> {
+    let json = effects_json();
+    let body = section(&json, "handlers");
+    let mut out = BTreeMap::new();
+    let mut current = String::new();
+    for line in body.lines() {
+        let t = line.trim();
+        if let Some(name) = t.strip_prefix('"').and_then(|r| r.strip_suffix("\": {")) {
+            current = name.to_string();
+            out.insert(current.clone(), BTreeSet::new());
+        } else if let Some(rest) = t.strip_prefix("\"writes\": [") {
+            let inner = rest.strip_suffix(']').unwrap_or(rest);
+            let classes = inner
+                .split(", ")
+                .filter(|s| !s.is_empty())
+                .map(|s| s.trim_matches('"').to_string());
+            out.get_mut(&current).expect("writes before handler name").extend(classes);
+        }
+    }
+    out
+}
+
+/// Effect-class names declared in the committed map.
+fn declared_classes() -> BTreeSet<String> {
+    let json = effects_json();
+    let mut out = BTreeSet::new();
+    for line in section(&json, "effect_classes").lines() {
+        if let Some(rest) = line.trim().strip_prefix('"') {
+            if let Some(end) = rest.find('"') {
+                out.insert(rest[..end].to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Claim 1a: the map names exactly the runtime handler set.
+#[test]
+fn committed_map_names_every_runtime_handler() {
+    let writes = declared_writes();
+    let names: Vec<&str> = writes.keys().map(String::as_str).collect();
+    assert_eq!(names, HANDLERS, "EFFECTS.json handlers drifted from the dispatch");
+    for (handler, classes) in &writes {
+        assert!(!classes.is_empty(), "handler `{handler}` declares no writes at all");
+    }
+}
+
+/// Claim 1b: every runtime-fingerprinted class is declared in the map.
+#[test]
+fn every_tracked_class_is_declared() {
+    let classes = declared_classes();
+    for class in aria_core::effects::TRACKED_CLASSES {
+        assert!(classes.contains(*class), "runtime tracks `{class}` but the map omits it");
+    }
+}
+
+/// Claim 2: tracing the determinism goldens is a pure observation —
+/// every recorded number still matches, and traced == untraced exactly.
+#[test]
+fn tracer_preserves_determinism_goldens_bit_for_bit() {
+    struct Golden {
+        seed: u64,
+        total: u64,
+        request: u64,
+        accept: u64,
+        inform: u64,
+        assign: u64,
+    }
+    let goldens = [
+        Golden { seed: 11, total: 592, request: 498, accept: 80, inform: 0, assign: 14 },
+        Golden { seed: 12, total: 1442, request: 561, accept: 74, inform: 793, assign: 14 },
+    ];
+    let declared = declared_writes();
+    let runner = Runner::scaled(30, 15);
+    let mut audit = EffectAudit::new();
+    for golden in goldens {
+        let seed = golden.seed;
+        let mut traced =
+            runner.build_world(Scenario::IMixed, seed, FaultPlan::none(), NullProbe);
+        traced.run_effect_traced(&mut audit);
+        let mut plain = runner.build_world(Scenario::IMixed, seed, FaultPlan::none(), NullProbe);
+        plain.run();
+        assert_eq!(traced.metrics().records(), plain.metrics().records(), "seed {seed}");
+        assert_eq!(traced.metrics().traffic(), plain.metrics().traffic(), "seed {seed}");
+        assert_eq!(
+            traced.metrics().idle_series().values(),
+            plain.metrics().idle_series().values(),
+            "seed {seed}"
+        );
+        assert_eq!(traced.metrics().completed_count(), 15, "seed {seed}: completed");
+        let traffic = traced.metrics().traffic();
+        assert_eq!(traffic.total_messages(), golden.total, "seed {seed}: total");
+        assert_eq!(traffic.messages(TrafficClass::Request), golden.request, "seed {seed}");
+        assert_eq!(traffic.messages(TrafficClass::Accept), golden.accept, "seed {seed}");
+        assert_eq!(traffic.messages(TrafficClass::Inform), golden.inform, "seed {seed}");
+        assert_eq!(traffic.messages(TrafficClass::Assign), golden.assign, "seed {seed}");
+    }
+    assert!(audit.events() > 0);
+    if let Err(drift) = audit.check_against(&declared) {
+        panic!("effect drift on the determinism goldens: {drift}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Claim 3: under interleaved joins, crashes, lossy transport,
+    /// partitions and ordinary protocol steps, observed ⊆ static.
+    #[test]
+    fn tracer_never_observes_undeclared_touches(
+        seed in 0u64..1000,
+        joins in 0u64..4,
+        crashes in 0u64..3,
+        loss_pct in 0u32..30,
+        windows in 0u64..2,
+    ) {
+        let mut config = WorldConfig::small_test(20);
+        config.joins = (0..joins).map(|i| SimTime::from_mins(20 + 30 * i)).collect();
+        config.crashes = (0..crashes).map(|i| SimTime::from_mins(35 + 45 * i)).collect();
+        config.fault = FaultPlan {
+            loss: f64::from(loss_pct) / 100.0,
+            duplicate: 0.05,
+            jitter_ms: 250,
+            partitions: (0..windows)
+                .map(|i| PartitionWindow {
+                    start: SimTime::from_mins(40 + 90 * i),
+                    duration: SimDuration::from_mins(8),
+                })
+                .collect(),
+            keep: None,
+        };
+        let mut world = aria_core::World::with_probe(config, seed, NullProbe);
+        let mut generator = JobGenerator::paper_batch();
+        let schedule =
+            SubmissionSchedule::new(SimTime::from_mins(1), SimDuration::from_secs(40), 10);
+        world.submit_schedule(&schedule, &mut generator);
+        let mut audit = EffectAudit::new();
+        world.run_effect_traced(&mut audit);
+        let verdict = audit.check_against(&declared_writes());
+        prop_assert!(verdict.is_ok(), "{}", verdict.unwrap_err());
+    }
+}
