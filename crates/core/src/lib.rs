@@ -79,6 +79,7 @@ pub mod fault;
 pub mod msg;
 pub mod multireq;
 pub mod net;
+pub mod shard;
 mod visited;
 pub mod world;
 
@@ -91,4 +92,5 @@ pub use fault::{FaultKind, FaultPlan, FaultRecord, PartitionWindow};
 pub use msg::{FloodId, Message};
 pub use multireq::MultiRequestScheduler;
 pub use net::NetModel;
+pub use shard::HorizonContract;
 pub use world::World;

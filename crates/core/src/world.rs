@@ -63,7 +63,7 @@ use aria_workload::{JobGenerator, ProfileGenerator, SubmissionSchedule};
 /// audit cheap while still catching corruption within 64 events of its
 /// cause. [`World::run_checked`] checks every event regardless.
 #[cfg_attr(not(debug_assertions), allow(dead_code))]
-const INVARIANT_STRIDE: u64 = 64;
+pub(crate) const INVARIANT_STRIDE: u64 = 64;
 
 /// A simulation event.
 ///
@@ -197,6 +197,17 @@ pub struct World<P: Probe = NullProbe> {
     pub(crate) fault_log: Vec<FaultRecord>,
     /// How many [`Event::PartitionStart`] windows are currently open.
     pub(crate) partitions_open: u32,
+    /// Precomputed candidate-cost quotes, keyed `(bidder, job, instant)`.
+    ///
+    /// Scratch by contract: only the sharded executor
+    /// (`crate::shard`) populates it — during a window's parallel
+    /// phase — and it is emptied again at every window barrier, so under
+    /// [`World::run`] it stays empty for the whole run. A cached quote is
+    /// bit-identical to computing it in place ([`SchedulerQueue::
+    /// cost_of_candidate`] is a pure function of queue state, which the
+    /// executor's purge rules keep unchanged between cache fill and use),
+    /// so its contents never carry simulation state.
+    pub(crate) bid_cache: std::collections::BTreeMap<(NodeId, JobId, SimTime), Cost>,
     /// The observability sink (see the struct docs); [`NullProbe`] by
     /// default, which compiles every `record` call away.
     pub(crate) probe: P,
@@ -288,6 +299,7 @@ impl<P: Probe> World<P> {
             fault_seq: 0,
             fault_log: Vec::new(),
             partitions_open: 0,
+            bid_cache: std::collections::BTreeMap::new(),
             probe,
         };
         world.metrics = MetricsCollector::new(world.config.sample_period);
@@ -965,6 +977,29 @@ impl<P: Probe> World<P> {
         }
     }
 
+    /// The cost node `to` would quote for candidate job `job` at `now`.
+    ///
+    /// Checks the sharded executor's bid cache first: `run_sharded`
+    /// (`crate::shard`) precomputes these pure quotes in parallel for
+    /// every REQUEST/INFORM delivery pending in the current
+    /// latency-horizon window and the serial replay consumes them here.
+    /// A miss — always, under [`World::run`] — computes the quote in
+    /// place. Purity makes the two paths bit-identical; debug builds
+    /// re-derive every hit to prove it.
+    pub(crate) fn candidate_cost(&self, to: NodeId, job: JobId, spec: &JobSpec, now: SimTime) -> Cost {
+        let node = &self.nodes[to.index()];
+        if let Some(&cached) = self.bid_cache.get(&(to, job, now)) {
+            debug_assert_eq!(
+                cached,
+                node.queue.cost_of_candidate(spec, now, &node.profile),
+                "stale bid cache for node {to:?} job {job:?} at {now}: the shard executor's \
+                 purge rules missed a queue mutation"
+            );
+            return cached;
+        }
+        node.queue.cost_of_candidate(spec, now, &node.profile)
+    }
+
     /// The probe-schema kind tag of a message.
     pub(crate) fn msg_kind(msg: Message) -> MsgKind {
         match msg {
@@ -1003,7 +1038,7 @@ impl<P: Probe> World<P> {
                 let node = &self.nodes[to.index()];
                 let bids = Self::node_can_bid(node, &spec);
                 if bids {
-                    let cost = node.queue.cost_of_candidate(&spec, now, &node.profile);
+                    let cost = self.candidate_cost(to, job, &spec, now);
                     self.probe.record(
                         now,
                         ProbeEvent::BidSent {
@@ -1043,7 +1078,7 @@ impl<P: Probe> World<P> {
                 let node = &self.nodes[to.index()];
                 let bids = Self::node_can_bid(node, &spec);
                 if bids {
-                    let my_cost = node.queue.cost_of_candidate(&spec, now, &node.profile);
+                    let my_cost = self.candidate_cost(to, job, &spec, now);
                     let threshold = self.config.aria.reschedule_threshold.as_millis() as i64;
                     if my_cost.improvement_over(cost) > threshold {
                         self.probe.record(

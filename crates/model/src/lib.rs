@@ -45,6 +45,7 @@ use aria_sim::{SimDuration, SimTime};
 use aria_workload::ArtModel;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 // Re-exported so `cargo xtask explore` can hold counterexample traces
 // without depending on `aria-core` directly.
@@ -280,6 +281,143 @@ impl Explorer {
             }
         }
         (stats, None)
+    }
+
+    /// Like [`Explorer::run`], but precomputing each BFS level's
+    /// transitions on worker threads drawn from the shared
+    /// [`aria_sim::pool`]. The expensive work per edge — cloning the
+    /// parent world and stepping the real handlers, then running the
+    /// per-state safety checks — is a pure function of the frozen
+    /// `(state, action)` pair, so the edges of one level fan out freely;
+    /// every *stateful* decision (counter updates, dedup against
+    /// `visited`, both truncation bounds, and which violation is
+    /// reported first) is then made serially in the exact order
+    /// [`Explorer::run`] makes it. The two are therefore
+    /// answer-identical at any worker count — same [`ExploreStats`],
+    /// same minimal counterexample — which
+    /// `run_parallel_is_bit_identical_to_run` pins.
+    ///
+    /// A FIFO frontier already visits states in level order, so the
+    /// level-synchronous loop below is the serial iteration order, not
+    /// an approximation of it.
+    pub fn run_parallel(&self, workers: usize) -> (ExploreStats, Option<Violation>) {
+        // The calling thread is one lane; only the extras draw permits.
+        // A zero grant (budget exhausted, or workers <= 1) falls back to
+        // the serial search rather than waiting.
+        let reservation = aria_sim::pool::reserve(workers.saturating_sub(1));
+        if reservation.workers() == 0 {
+            return self.run();
+        }
+        let mut stats = ExploreStats::default();
+        let root = self.root();
+        if let Some(message) = self.check_state(&root, true) {
+            stats.states = 1;
+            return (stats, Some(Violation { message, trace: Vec::new() }));
+        }
+        let mut visited: BTreeSet<(u64, u64, u32, u32)> = BTreeSet::new();
+        visited.insert(Self::key(&root));
+        stats.states = 1;
+        let mut level: Vec<SearchNode> = vec![root];
+
+        while !level.is_empty() {
+            // Cheap serial prepass: the enabled-action menu per node.
+            // Terminal and depth-truncated nodes expand no edges, so
+            // only the rest contribute work items.
+            let menus: Vec<Vec<Action>> = level.iter().map(|n| self.enabled(n)).collect();
+            let mut items: Vec<(usize, Action)> = Vec::new();
+            for (i, menu) in menus.iter().enumerate() {
+                if menu.is_empty() || level[i].trace.len() >= self.config.max_depth {
+                    continue;
+                }
+                items.extend(menu.iter().map(|&action| (i, action)));
+            }
+            let mut results = self.expand(&level, &items, reservation.workers()).into_iter();
+
+            // Serial consumption, replicating `run()` decision for
+            // decision. Edges computed past an early return are simply
+            // discarded — they were pure, so nothing observable leaks.
+            let mut next_level: Vec<SearchNode> = Vec::new();
+            for (i, node) in level.iter().enumerate() {
+                stats.max_depth = stats.max_depth.max(node.trace.len());
+                if menus[i].is_empty() {
+                    stats.terminals += 1;
+                    stats.terminal_fingerprints.insert(node.world.fingerprint());
+                    if let Some(message) = self.check_terminal(node) {
+                        return (stats, Some(Violation { message, trace: node.trace.clone() }));
+                    }
+                    continue;
+                }
+                if node.trace.len() >= self.config.max_depth {
+                    stats.truncated = true;
+                    continue;
+                }
+                for _ in &menus[i] {
+                    let (next, verdict) = results.next().expect("one result per work item");
+                    stats.transitions += 1;
+                    if let Some(message) = verdict {
+                        return (stats, Some(Violation { message, trace: next.trace }));
+                    }
+                    if !visited.insert(Self::key(&next)) {
+                        stats.dedup_hits += 1;
+                        continue;
+                    }
+                    stats.states += 1;
+                    if stats.states >= self.config.max_states as u64 {
+                        stats.truncated = true;
+                        return (stats, None);
+                    }
+                    next_level.push(next);
+                }
+            }
+            level = next_level;
+        }
+        (stats, None)
+    }
+
+    /// Computes `(apply(parent, action), check_state(..))` for every
+    /// work item of one BFS level, returned **in item order**. Each item
+    /// depends only on the frozen parent level, so workers claim indices
+    /// off a shared cursor and the tagged results are re-sorted — the
+    /// merge is deterministic regardless of thread interleaving.
+    fn expand(
+        &self,
+        level: &[SearchNode],
+        items: &[(usize, Action)],
+        extra_workers: usize,
+    ) -> Vec<(SearchNode, Option<String>)> {
+        let evaluate = |&(i, action): &(usize, Action)| {
+            let next = self.apply(&level[i], action);
+            let verdict = self.check_state(&next, false);
+            (next, verdict)
+        };
+        // The first few levels of every search are tiny; a fan-out there
+        // costs more than the edges themselves.
+        if extra_workers == 0 || items.len() < 8 {
+            return items.iter().map(evaluate).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let worker = || {
+            let mut out = Vec::new();
+            loop {
+                let j = cursor.fetch_add(1, Ordering::Relaxed);
+                if j >= items.len() {
+                    break;
+                }
+                let (next, verdict) = evaluate(&items[j]);
+                out.push((j, next, verdict));
+            }
+            out
+        };
+        let mut tagged: Vec<(usize, SearchNode, Option<String>)> = Vec::with_capacity(items.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..extra_workers).map(|_| scope.spawn(worker)).collect();
+            tagged.extend(worker());
+            for handle in handles {
+                tagged.extend(handle.join().expect("model expansion worker panicked"));
+            }
+        });
+        tagged.sort_unstable_by_key(|&(j, _, _)| j);
+        tagged.into_iter().map(|(_, next, verdict)| (next, verdict)).collect()
     }
 
     /// Replays an action trace on a fresh world, re-checking every
@@ -633,6 +771,32 @@ mod tests {
         let jsonl = aria_probe::schema::to_jsonl(&trace);
         let back = aria_probe::schema::from_jsonl(&jsonl).expect("schema-valid export");
         assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn run_parallel_is_bit_identical_to_run() {
+        let cases = [
+            // Exhaustive clean search: stats must match field for field.
+            ModelConfig::default(),
+            // Violation path: the same minimal counterexample must come
+            // out first at any worker count.
+            ModelConfig { property: Property::SelfCheckNoExecution, ..ModelConfig::default() },
+            // Truncation path: the mid-level max_states cut must land on
+            // the same edge.
+            ModelConfig { drops: 1, max_states: 3_000, ..ModelConfig::default() },
+        ];
+        for config in cases {
+            let explorer = Explorer::new(config);
+            let serial = explorer.run();
+            for workers in [2, 8] {
+                let parallel = explorer.run_parallel(workers);
+                assert_eq!(
+                    serial, parallel,
+                    "parallel exploration diverged at workers={workers} for {:?}",
+                    explorer.config()
+                );
+            }
+        }
     }
 
     #[test]

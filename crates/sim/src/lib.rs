@@ -36,6 +36,7 @@
 #![deny(rust_2018_idioms)]
 
 pub mod event;
+pub mod pool;
 pub mod rng;
 pub mod series;
 pub mod stats;

@@ -35,7 +35,7 @@ use aria_workload::{JobGenerator, SubmissionSchedule};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: cargo xtask chaos [--schedules N] [--seed N] [--nodes N] [--jobs N] \
-                     [--sweep] [--self-check] [--shrink-out PATH]";
+                     [--workers N] [--sweep] [--self-check] [--shrink-out PATH]";
 
 /// Parses the CLI flags and runs the harness.
 pub fn run(args: &[String]) -> ExitCode {
@@ -43,6 +43,7 @@ pub fn run(args: &[String]) -> ExitCode {
     let mut seed = 1u64;
     let mut nodes = 24usize;
     let mut jobs = 18usize;
+    let mut workers = aria_sim::pool::default_budget() + 1;
     let mut self_check = false;
     let mut sweep = false;
     // `--shrink-out PATH` takes a string value, so it is stripped before
@@ -71,6 +72,7 @@ pub fn run(args: &[String]) -> ExitCode {
             "--seed" => number("seed").map(|v| seed = v),
             "--nodes" => number("nodes").map(|v| nodes = v as usize),
             "--jobs" => number("jobs").map(|v| jobs = v as usize),
+            "--workers" => number("workers").map(|v| workers = (v as usize).max(1)),
             "--sweep" => {
                 sweep = true;
                 Ok(())
@@ -93,7 +95,7 @@ pub fn run(args: &[String]) -> ExitCode {
     if sweep {
         return loss_sweep(seed);
     }
-    chaos(schedules, seed, nodes, jobs, shrink_out.as_deref())
+    chaos(schedules, seed, nodes, jobs, workers, shrink_out.as_deref())
 }
 
 /// One randomized chaos case: a world shape plus a fault plan. The
@@ -199,16 +201,36 @@ fn random_case(plan_rng: &mut SimRng, nodes: usize, jobs: usize) -> ChaosCase {
 
 /// The main harness loop: run `schedules` randomized cases, shrink and
 /// report the first violation.
-fn chaos(schedules: u64, seed: u64, nodes: usize, jobs: usize, out: Option<&str>) -> ExitCode {
+///
+/// Case derivation is serial — each `fork` advances the master RNG
+/// stream — but the audited runs are pure functions of their case, so
+/// they fan out across `workers` threads. Outcomes are buffered and
+/// reported strictly in schedule order, and any shrink runs serially on
+/// the calling thread, so stdout/stderr are byte-identical to a
+/// `--workers 1` run at every worker count. (On a violation the serial
+/// loop would stop early where the fan-out has already run the later
+/// schedules; that surplus work is pure and its results are discarded.)
+fn chaos(
+    schedules: u64,
+    seed: u64,
+    nodes: usize,
+    jobs: usize,
+    workers: usize,
+    out: Option<&str>,
+) -> ExitCode {
     println!(
         "xtask chaos: {schedules} schedule(s), seed {seed}, {nodes} nodes, {jobs} jobs \
          (audited: every invariant checked after every event)"
     );
     let mut master = SimRng::seed_from(seed);
-    for k in 0..schedules {
-        let mut plan_rng = master.fork(k + 1);
-        let case = random_case(&mut plan_rng, nodes, jobs);
-        let outcome = case.execute_plain(None);
+    let cases: Vec<ChaosCase> = (0..schedules)
+        .map(|k| {
+            let mut plan_rng = master.fork(k + 1);
+            random_case(&mut plan_rng, nodes, jobs)
+        })
+        .collect();
+    let outcomes = run_cases(&cases, workers);
+    for (k, (case, outcome)) in cases.iter().zip(outcomes).enumerate() {
         let plan = &case.plan;
         println!(
             "schedule {k:>3}: loss {:>4.1}% dup {:>4.1}% jitter {:>4}ms partitions {} -> \
@@ -225,12 +247,47 @@ fn chaos(schedules: u64, seed: u64, nodes: usize, jobs: usize, out: Option<&str>
         );
         if let Err(message) = outcome.verdict {
             eprintln!("xtask chaos: schedule {k} violated the oracle: {message}");
-            report_shrunk(&case, outcome.fired, out);
+            report_shrunk(case, outcome.fired, out);
             return ExitCode::FAILURE;
         }
     }
     println!("xtask chaos: all {schedules} schedule(s) passed the audit and conservation oracle");
     ExitCode::SUCCESS
+}
+
+/// Executes every case (allow-list `None`) across worker threads drawn
+/// from the shared `aria_sim::pool`, returning outcomes **in case
+/// order**. Each run is independent and deterministic in its case, so
+/// workers claim indices off a shared cursor and the tagged results are
+/// re-sorted — the merge order never depends on thread timing.
+fn run_cases(cases: &[ChaosCase], workers: usize) -> Vec<RunOutcome> {
+    let reservation = aria_sim::pool::reserve(workers.saturating_sub(1));
+    let extra = reservation.workers().min(cases.len().saturating_sub(1));
+    if extra == 0 {
+        return cases.iter().map(|case| case.execute_plain(None)).collect();
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let worker = || {
+        let mut out = Vec::new();
+        loop {
+            let k = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if k >= cases.len() {
+                break;
+            }
+            out.push((k, cases[k].execute_plain(None)));
+        }
+        out
+    };
+    let mut tagged: Vec<(usize, RunOutcome)> = Vec::with_capacity(cases.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..extra).map(|_| scope.spawn(worker)).collect();
+        tagged.extend(worker());
+        for handle in handles {
+            tagged.extend(handle.join().expect("chaos schedule worker panicked"));
+        }
+    });
+    tagged.sort_unstable_by_key(|&(k, _)| k);
+    tagged.into_iter().map(|(_, outcome)| outcome).collect()
 }
 
 /// Greedy keep-list shrink: try removing one surviving injection at a

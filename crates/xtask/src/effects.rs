@@ -88,6 +88,7 @@ const EFFECT_CLASSES: &[(&str, &str)] = &[
 const FIELD_CLASSES: &[(&str, &str)] = &[
     ("abandoned", "accounting"),
     ("alive", "alive-index"),
+    ("bid_cache", "scratch"),
     ("blatant", "topology"),
     ("candidates", "scratch"),
     ("config", "config"),
@@ -148,16 +149,16 @@ const RULE_DOCS: &[(&str, &str)] = &[
 /// string (offsets are stable), plus per-line comments for allow
 /// markers. Unit-test modules are cut off — `#[cfg(test)] mod …` code
 /// drives worlds, it does not define handler effects.
-struct SourceFile {
-    rel: String,
-    code: String,
+pub(crate) struct SourceFile {
+    pub(crate) rel: String,
+    pub(crate) code: String,
     /// Byte offset where each (0-based) line starts in `code`.
     line_starts: Vec<usize>,
-    comments: Vec<String>,
+    pub(crate) comments: Vec<String>,
 }
 
 impl SourceFile {
-    fn parse(rel: &str, text: &str) -> SourceFile {
+    pub(crate) fn parse(rel: &str, text: &str) -> SourceFile {
         let lines = split_channels(text);
         // Cut at `#[cfg(test)]` only when a `mod` follows within two
         // lines: `#[cfg(test)] pub fn helper()` mid-impl must survive.
@@ -183,7 +184,7 @@ impl SourceFile {
     }
 
     /// 1-based line number of a byte offset in `code`.
-    fn line_of(&self, offset: usize) -> usize {
+    pub(crate) fn line_of(&self, offset: usize) -> usize {
         self.line_starts.partition_point(|&s| s <= offset).max(1)
     }
 
@@ -191,23 +192,23 @@ impl SourceFile {
     /// (1-based, clamped) carries `effects:allow(<rule>)`. The span is
     /// the whole statement plus one preceding line, so a multi-line
     /// justification above the statement still counts.
-    fn allowed(&self, rule: &str, from_line: usize, to_line: usize) -> bool {
+    pub(crate) fn allowed(&self, rule: &str, from_line: usize, to_line: usize) -> bool {
         let marker = format!("{ALLOW_MARKER}{rule})");
         let lo = from_line.saturating_sub(2); // 1-based -> 0-based, minus one extra line
         let hi = to_line.min(self.comments.len());
         self.comments[lo..hi].iter().any(|c| c.contains(&marker))
     }
 
-    fn diag(&self, offset: usize, rule: &'static str, message: String) -> Diagnostic {
+    pub(crate) fn diag(&self, offset: usize, rule: &'static str, message: String) -> Diagnostic {
         Diagnostic { path: self.rel.clone(), line: self.line_of(offset), rule, message }
     }
 }
 
-fn is_ident(b: u8) -> bool {
+pub(crate) fn is_ident(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
-fn skip_ws(bytes: &[u8], mut p: usize) -> usize {
+pub(crate) fn skip_ws(bytes: &[u8], mut p: usize) -> usize {
     while p < bytes.len() && bytes[p].is_ascii_whitespace() {
         p += 1;
     }
@@ -221,7 +222,7 @@ fn word_at(bytes: &[u8], pos: usize, len: usize) -> bool {
 }
 
 /// All word-bounded occurrences of `needle` in `code[range]`.
-fn find_words(code: &str, range: Range<usize>, needle: &str) -> Vec<usize> {
+pub(crate) fn find_words(code: &str, range: Range<usize>, needle: &str) -> Vec<usize> {
     let bytes = code.as_bytes();
     let mut out = Vec::new();
     let mut at = range.start;
@@ -241,16 +242,16 @@ fn find_words(code: &str, range: Range<usize>, needle: &str) -> Vec<usize> {
 
 /// A parsed `fn`: its name and the byte range of its `{ … }` body.
 #[derive(Clone)]
-struct FnItem {
-    name: String,
-    sig_start: usize,
-    body: Range<usize>,
+pub(crate) struct FnItem {
+    pub(crate) name: String,
+    pub(crate) sig_start: usize,
+    pub(crate) body: Range<usize>,
 }
 
 /// Finds every `fn` with a body (declarations are skipped). Generic
 /// parameter lists are crossed with an angle-bracket depth scan that
 /// ignores the `>` of `->` (so `fn f<F: Fn() -> bool>` parses).
-fn parse_fns(code: &str) -> Vec<FnItem> {
+pub(crate) fn parse_fns(code: &str) -> Vec<FnItem> {
     let bytes = code.as_bytes();
     let mut fns = Vec::new();
     for pos in find_words(code, 0..code.len(), "fn") {
@@ -302,7 +303,7 @@ fn parse_fns(code: &str) -> Vec<FnItem> {
 }
 
 /// The innermost function containing `offset`.
-fn enclosing_fn(fns: &[FnItem], offset: usize) -> Option<&FnItem> {
+pub(crate) fn enclosing_fn(fns: &[FnItem], offset: usize) -> Option<&FnItem> {
     fns.iter()
         .filter(|f| f.sig_start <= offset && offset < f.body.end)
         .min_by_key(|f| f.body.end - f.sig_start)
@@ -472,7 +473,7 @@ fn classify_chain(code: &str, self_pos: usize, mut p: usize, class: &str) -> boo
 }
 
 /// `CamelCase` → `kebab-case`, matching `aria_core::effects::handler_name`.
-fn kebab(name: &str) -> String {
+pub(crate) fn kebab(name: &str) -> String {
     let mut out = String::new();
     for (i, c) in name.chars().enumerate() {
         if c.is_ascii_uppercase() {

@@ -19,6 +19,7 @@ use std::process::ExitCode;
 pub fn run(args: &[String]) -> ExitCode {
     let mut config = ModelConfig::default();
     let mut self_check = false;
+    let mut workers = aria_sim::pool::default_budget() + 1;
     // `--trace-out PATH` takes a string value, so it is stripped before
     // the numeric-flag loop below.
     let mut args = args.to_vec();
@@ -48,6 +49,7 @@ pub fn run(args: &[String]) -> ExitCode {
             "--states" => number("states").map(|v| config.max_states = v as usize),
             "--drops" => number("drops").map(|v| config.drops = v as u32),
             "--dups" => number("dups").map(|v| config.dups = v as u32),
+            "--workers" => number("workers").map(|v| workers = (v as usize).max(1)),
             "--no-por" => {
                 config.por = false;
                 Ok(())
@@ -69,14 +71,14 @@ pub fn run(args: &[String]) -> ExitCode {
         }
     }
     if self_check {
-        return self_check_explorer(config, trace_out.as_deref());
+        return self_check_explorer(config, trace_out.as_deref(), workers);
     }
-    explore(config, trace_out.as_deref())
+    explore(config, trace_out.as_deref(), workers)
 }
 
 const USAGE: &str = "usage: cargo xtask explore [--nodes N] [--jobs N] [--seed N] [--depth N] \
-                     [--states N] [--drops N] [--dups N] [--no-por] [--rescheduling] \
-                     [--self-check] [--trace-out PATH]";
+                     [--states N] [--drops N] [--dups N] [--workers N] [--no-por] \
+                     [--rescheduling] [--self-check] [--trace-out PATH]";
 
 /// Replays a counterexample with a probe attached and writes the
 /// recording as `aria-probe` JSONL — the same schema scenario runs
@@ -94,7 +96,12 @@ fn export_trace(explorer: &Explorer, trace: &[aria_model::ModelAction], path: &s
 }
 
 /// Runs one exploration and reports the counters (or the counterexample).
-fn explore(config: ModelConfig, trace_out: Option<&str>) -> ExitCode {
+/// `run_parallel` is answer-identical to the serial search at any worker
+/// count (pinned by the `aria-model` tests), so the fan-out changes only
+/// the wall clock — never the counters or the counterexample.
+fn explore(config: ModelConfig, trace_out: Option<&str>, workers: usize) -> ExitCode {
+    // `workers` is deliberately absent from the report: exploration
+    // output is byte-identical at every worker count, and CI diffs it.
     println!(
         "xtask explore: {} nodes, {} job(s), seed {}, depth ≤ {}, states ≤ {}, \
          drops {}, dups {}, por {}",
@@ -108,7 +115,7 @@ fn explore(config: ModelConfig, trace_out: Option<&str>) -> ExitCode {
         if config.por { "on" } else { "off" },
     );
     let explorer = Explorer::new(config);
-    let (stats, violation) = explorer.run();
+    let (stats, violation) = explorer.run_parallel(workers);
     println!(
         "xtask explore: {} state(s) visited, {} dedup hit(s), {} transition(s), \
          max depth {}, {} terminal state(s) ({} distinct)",
@@ -142,10 +149,10 @@ fn explore(config: ModelConfig, trace_out: Option<&str>) -> ExitCode {
 /// Proves the checker still finds violations: explores under the
 /// deliberately-false "no job ever starts" property, demands a
 /// counterexample, and replays its trace to the same violation.
-fn self_check_explorer(config: ModelConfig, trace_out: Option<&str>) -> ExitCode {
+fn self_check_explorer(config: ModelConfig, trace_out: Option<&str>, workers: usize) -> ExitCode {
     let config = ModelConfig { property: Property::SelfCheckNoExecution, ..config };
     let explorer = Explorer::new(config);
-    let (_, violation) = explorer.run();
+    let (_, violation) = explorer.run_parallel(workers);
     let Some(violation) = violation else {
         eprintln!("explore --self-check: the deliberately-false property was NOT caught");
         return ExitCode::FAILURE;

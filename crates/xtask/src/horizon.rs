@@ -1,0 +1,1049 @@
+//! `cargo xtask horizon` — static proof of the latency-horizon contract
+//! behind the sharded deterministic runner.
+//!
+//! ```text
+//! cargo xtask horizon               # analyze + write HORIZON.json
+//! cargo xtask horizon --check       # CI gate: clean tree AND committed contract is current
+//! cargo xtask horizon --self-check  # planted violations must be caught
+//! ```
+//!
+//! The conservative-lookahead argument (DESIGN.md §14) is: every
+//! cross-node event is a `Event::Deliver`, every Deliver is scheduled
+//! inside the `World::transmit` choke point with delay `now + latency
+//! (+ jitter (+ extra))`, and `latency` always comes from a
+//! `NetModel` producer whose `Sampled` arm draws from a `LatencyModel`
+//! whose constructor rejects a zero minimum. Therefore no Deliver
+//! scheduled during a window `[T, T + floor)` can land inside that
+//! window, and per-shard state can be read (never mutated) in parallel
+//! up to the horizon. This analyzer walks every event-scheduling call
+//! site in the sim-reachable crates with the lint lexer
+//! ([`crate::scan`], [`crate::source`]) and proves each link of that
+//! chain, classifying every `Event` variant against the `EFFECTS.json`
+//! node-state partition:
+//!
+//! * **cross-node** — `Deliver`: the only variant that moves state
+//!   between nodes; delay-bounded below by the latency floor.
+//! * **shard-local** — variants carrying a `NodeId` payload (timers,
+//!   ticks): they touch that node's shard and may fire at any delay.
+//! * **global** — variants with no node affinity (submission, churn,
+//!   fault windows, sampling): replayed in the deterministic serial
+//!   phase of every window.
+//!
+//! The result is committed as `HORIZON.json`; `--check` regenerates and
+//! byte-compares, and `aria_core::shard` embeds + revalidates the same
+//! contract at runtime, so the sharded runner can never outlive the
+//! proof it rests on.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+use std::path::Path;
+use std::process::ExitCode;
+
+use crate::effects::{
+    enclosing_fn, find_words, is_ident, kebab, parse_fns, skip_ws, FnItem, SourceFile,
+    EFFECTS_PATH,
+};
+use crate::rules::Diagnostic;
+use crate::scan::contains_word;
+use crate::source::{self, skip_balanced, workspace_root, SIM_REACHABLE_CRATES};
+
+/// The file defining `struct World`, `enum Event` and `fn transmit`.
+const WORLD_FILE: &str = "crates/core/src/world.rs";
+
+/// The file defining the `NetModel` latency producers.
+const NET_FILE: &str = "crates/core/src/net.rs";
+
+/// The file defining `LatencyModel` (the floor guard).
+const LATENCY_FILE: &str = "crates/overlay/src/latency.rs";
+
+/// Repo-relative path of the committed contract.
+pub const HORIZON_PATH: &str = "HORIZON.json";
+
+/// Rule catalog exported under `"rules"` in the JSON.
+const RULE_DOCS: &[(&str, &str)] = &[
+    ("floor-guard", "LatencyModel::new must reject a zero minimum and the Sampled NetModel arms must derive every latency from sampled links (Lockstep has no floor: sharded execution requires Sampled)"),
+    ("latency-source", "every transmit call's latency argument must come from NetModel::flood_latency or NetModel::reply_latency"),
+    ("transmit-bypass", "Event::Deliver may be scheduled only inside World::transmit; effects:allow(deliver-choke) escapes non-handler driver code"),
+    ("unbounded-delay", "every Deliver scheduled in transmit must use a `now + latency (+ jitter…)` delay, so cross-node delivery is never earlier than the latency floor"),
+    ("variant-drift", "every Event variant maps to exactly one EFFECTS.json handler and carries a horizon class, and vice versa"),
+];
+
+// ---------------------------------------------------------------------
+// Analysis model
+// ---------------------------------------------------------------------
+
+/// One `Event` enum variant with its parsed payload fields.
+struct Variant {
+    name: String,
+    /// `(field_name, type_head)` pairs, e.g. `("to", "NodeId")`.
+    fields: Vec<(String, String)>,
+}
+
+/// The horizon classification of one event variant.
+pub struct EventClass {
+    pub variant: String,
+    pub class: &'static str,
+    pub shard_key: Option<String>,
+}
+
+/// One event-scheduling call site.
+struct Site {
+    file: String,
+    func: String,
+    event: String,
+    delay: String,
+    class: String,
+}
+
+/// The full analysis result.
+pub struct Analysis {
+    pub diagnostics: Vec<Diagnostic>,
+    /// Kebab-case handler name → classification.
+    pub events: BTreeMap<String, EventClass>,
+    sites: Vec<Site>,
+    default_min_ms: Option<u64>,
+    pub json: String,
+}
+
+// ---------------------------------------------------------------------
+// Small parsing helpers
+// ---------------------------------------------------------------------
+
+/// Splits `inner` at top-level commas (depth-balanced over `()[]{}`).
+fn split_top(inner: &str) -> Vec<&str> {
+    let bytes = inner.as_bytes();
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b',' if depth == 0 => {
+                parts.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&inner[start..]);
+    parts
+}
+
+/// Splits a delay expression at top-level `+` into trimmed terms.
+fn plus_terms(delay: &str) -> Vec<&str> {
+    let bytes = delay.as_bytes();
+    let mut terms = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b'+' if depth == 0 => {
+                terms.push(delay[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    terms.push(delay[start..].trim());
+    terms
+}
+
+/// The first word-bounded `Event::Variant` in `expr`, if any.
+fn event_variant(expr: &str) -> Option<String> {
+    let bytes = expr.as_bytes();
+    let mut at = 0;
+    while let Some(found) = expr[at..].find("Event::") {
+        let pos = at + found;
+        at = pos + 7;
+        if pos > 0 && is_ident(bytes[pos - 1]) {
+            continue; // e.g. `ProbeEvent::` — not the world enum
+        }
+        let s = pos + 7;
+        let mut q = s;
+        while q < bytes.len() && is_ident(bytes[q]) {
+            q += 1;
+        }
+        if q > s {
+            return Some(expr[s..q].to_string());
+        }
+    }
+    None
+}
+
+/// Whether this file defines its own `enum Event` (the comparator
+/// models each carry a private single-queue event enum; their sites are
+/// classified `file-local` and never partake in the world contract).
+fn defines_own_event_enum(code: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    for pos in find_words(code, 0..code.len(), "enum") {
+        let p = skip_ws(bytes, pos + 4);
+        if code[p..].starts_with("Event") && !bytes.get(p + 5).copied().is_some_and(is_ident) {
+            return Some(pos);
+        }
+    }
+    None
+}
+
+/// Parses the variants of `enum Event { … }` starting at `enum_pos`.
+fn parse_event_enum(code: &str, enum_pos: usize) -> Vec<Variant> {
+    let bytes = code.as_bytes();
+    let Some(open) = code[enum_pos..].find('{').map(|o| enum_pos + o) else { return Vec::new() };
+    let end = skip_balanced(bytes, open).saturating_sub(1);
+    let mut variants = Vec::new();
+    let mut p = open + 1;
+    while p < end {
+        p = skip_ws(bytes, p);
+        if p >= end {
+            break;
+        }
+        if bytes[p] == b'#' {
+            let q = skip_ws(bytes, p + 1);
+            if bytes.get(q) == Some(&b'[') {
+                p = skip_balanced(bytes, q);
+                continue;
+            }
+        }
+        if !is_ident(bytes[p]) {
+            p += 1;
+            continue;
+        }
+        let s = p;
+        while p < end && is_ident(bytes[p]) {
+            p += 1;
+        }
+        let name = code[s..p].to_string();
+        p = skip_ws(bytes, p);
+        let mut fields = Vec::new();
+        if p < end && bytes[p] == b'{' {
+            let fe = skip_balanced(bytes, p);
+            for part in split_top(&code[p + 1..fe.saturating_sub(1)]) {
+                let Some((fname, ftype)) = part.trim().split_once(':') else { continue };
+                let head: String = ftype
+                    .trim()
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                fields.push((fname.trim().to_string(), head));
+            }
+            p = fe;
+        } else if p < end && bytes[p] == b'(' {
+            p = skip_balanced(bytes, p);
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Classifies one variant: `Deliver` is the cross-node edge; a `NodeId`
+/// payload pins the variant to that node's shard; everything else is
+/// global (replayed in the serial phase of every window).
+fn classify(v: &Variant) -> EventClass {
+    let shard_key = v.fields.iter().find(|(_, t)| t == "NodeId").map(|(n, _)| n.clone());
+    let class = if v.name == "Deliver" {
+        "cross-node"
+    } else if shard_key.is_some() {
+        "shard-local"
+    } else {
+        "global"
+    };
+    EventClass { variant: v.name.clone(), class, shard_key }
+}
+
+/// The `Sampled =>` arm body of a `match self { … }` inside `body`.
+fn sampled_arm(code: &str, body: Range<usize>) -> Option<String> {
+    let bytes = code.as_bytes();
+    let pos = find_words(code, body.clone(), "Sampled").first().copied()?;
+    let arrow = code[pos..body.end].find("=>").map(|o| pos + o)?;
+    let p = skip_ws(bytes, arrow + 2);
+    if bytes.get(p) == Some(&b'{') {
+        let e = skip_balanced(bytes, p);
+        return Some(code[p..e].to_string());
+    }
+    let mut q = p;
+    let mut depth = 0i32;
+    while q < body.end {
+        match bytes[q] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' if depth == 0 => break,
+            b')' | b']' | b'}' => depth -= 1,
+            b',' if depth == 0 => break,
+            _ => {}
+        }
+        q += 1;
+    }
+    Some(code[p..q].to_string())
+}
+
+// ---------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------
+
+/// **transmit-bypass**: any statement containing both `schedule` and a
+/// word-bounded `Event::Deliver` must sit inside the world file's
+/// `transmit` or carry an `effects:allow(deliver-choke)` escape.
+fn check_bypass(file: &SourceFile, fns: &[FnItem], is_world: bool, diags: &mut Vec<Diagnostic>) {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    for pos in find_words(code, 0..code.len(), "Event::Deliver") {
+        let mut s = pos;
+        while s > 0 && !matches!(bytes[s - 1], b';' | b'{' | b'}') {
+            s -= 1;
+        }
+        if !contains_word(&code[s..pos], "schedule") {
+            continue;
+        }
+        if is_world && enclosing_fn(fns, pos).is_some_and(|f| f.name == "transmit") {
+            continue;
+        }
+        let (from, to) = (file.line_of(s), file.line_of(pos));
+        if file.allowed("deliver-choke", from, to) || file.allowed("transmit-bypass", from, to) {
+            continue;
+        }
+        diags.push(file.diag(
+            pos,
+            "transmit-bypass",
+            "Event::Deliver scheduled outside World::transmit - every cross-node edge must \
+             flow through the choke point so its delay is latency-floor bounded"
+                .to_string(),
+        ));
+    }
+}
+
+/// **latency-source**: every `self.transmit(…)` call's final argument
+/// must be derived from a `NetModel` latency producer (directly, or via
+/// a local `latency` binding in the same function).
+fn check_transmit_args(file: &SourceFile, fns: &[FnItem], diags: &mut Vec<Diagnostic>) {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    let mut at = 0;
+    while let Some(found) = code[at..].find(".transmit(") {
+        let pos = at + found;
+        at = pos + 10;
+        let open = pos + 9;
+        let end = skip_balanced(bytes, open);
+        let inner = &code[open + 1..end.saturating_sub(1)];
+        let mut parts = split_top(inner);
+        if parts.last().is_some_and(|p| p.trim().is_empty()) {
+            parts.pop(); // multiline calls keep a trailing comma
+        }
+        let Some(last) = parts.last().copied() else { continue };
+        let arg = last.split_whitespace().collect::<Vec<_>>().join(" ");
+        let produced = contains_word(&arg, "flood_latency")
+            || contains_word(&arg, "reply_latency")
+            || (arg == "latency"
+                && enclosing_fn(fns, pos).is_some_and(|f| {
+                    let body = &code[f.body.clone()];
+                    contains_word(body, "flood_latency") || contains_word(body, "reply_latency")
+                }));
+        if produced {
+            continue;
+        }
+        let line = file.line_of(pos);
+        if file.allowed("latency-source", line, line) {
+            continue;
+        }
+        diags.push(file.diag(
+            pos,
+            "latency-source",
+            format!(
+                "transmit latency argument `{arg}` is not derived from a NetModel producer \
+                 (flood_latency / reply_latency) - the latency-floor bound cannot be proven"
+            ),
+        ));
+    }
+}
+
+/// **floor-guard** over the `LatencyModel` constructor and the
+/// `NetModel` producer arms; also extracts the default floor in ms.
+fn check_floor(
+    latency: Option<(&SourceFile, &[FnItem])>,
+    net: Option<(&SourceFile, &[FnItem])>,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<u64> {
+    let mut default_min_ms = None;
+    match latency {
+        None => diags.push(Diagnostic {
+            path: LATENCY_FILE.to_string(),
+            line: 0,
+            rule: "floor-guard",
+            message: "the LatencyModel source is missing from the scan".to_string(),
+        }),
+        Some((file, fns)) => {
+            let code = &file.code;
+            match fns.iter().find(|f| f.name == "new") {
+                Some(new) if contains_word(&code[new.body.clone()], "assert")
+                    && code[new.body.clone()].contains("is_zero") => {}
+                Some(new) => diags.push(file.diag(
+                    new.sig_start,
+                    "floor-guard",
+                    "LatencyModel::new no longer rejects a zero minimum - the latency floor \
+                     (and with it the shard lookahead window) is gone"
+                        .to_string(),
+                )),
+                None => diags.push(file.diag(
+                    0,
+                    "floor-guard",
+                    "no LatencyModel::new constructor found to guard the floor".to_string(),
+                )),
+            }
+            if let Some(default) = fns.iter().find(|f| f.name == "default") {
+                let body = &code[default.body.clone()];
+                if let Some(m) = body.find("from_millis(") {
+                    let digits: String = body[m + 12..]
+                        .chars()
+                        .take_while(|c| c.is_ascii_digit() || *c == '_')
+                        .collect();
+                    default_min_ms = digits.replace('_', "").parse().ok();
+                }
+            }
+            if default_min_ms.is_none() {
+                diags.push(file.diag(
+                    0,
+                    "floor-guard",
+                    "cannot extract the default minimum latency from LatencyModel::default"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    match net {
+        None => diags.push(Diagnostic {
+            path: NET_FILE.to_string(),
+            line: 0,
+            rule: "floor-guard",
+            message: "the NetModel source is missing from the scan".to_string(),
+        }),
+        Some((file, fns)) => {
+            let code = &file.code;
+            match fns.iter().find(|f| f.name == "flood_latency") {
+                Some(f) => match sampled_arm(code, f.body.clone()) {
+                    Some(arm) if arm.trim() == "link" => {}
+                    _ => diags.push(file.diag(
+                        f.sig_start,
+                        "floor-guard",
+                        "flood_latency's Sampled arm must return the sampled link latency \
+                         unchanged (the floor bound rests on it)"
+                            .to_string(),
+                    )),
+                },
+                None => diags.push(file.diag(
+                    0,
+                    "floor-guard",
+                    "no NetModel::flood_latency producer found".to_string(),
+                )),
+            }
+            match fns.iter().find(|f| f.name == "reply_latency") {
+                Some(f) => match sampled_arm(code, f.body.clone()) {
+                    Some(arm) if contains_word(&arm, "reply_hops") && arm.contains(".sample(") => {}
+                    _ => diags.push(file.diag(
+                        f.sig_start,
+                        "floor-guard",
+                        "reply_latency's Sampled arm must sum reply_hops sampled link \
+                         latencies (each >= the floor)"
+                            .to_string(),
+                    )),
+                },
+                None => diags.push(file.diag(
+                    0,
+                    "floor-guard",
+                    "no NetModel::reply_latency producer found".to_string(),
+                )),
+            }
+        }
+    }
+    default_min_ms
+}
+
+// ---------------------------------------------------------------------
+// The analysis driver
+// ---------------------------------------------------------------------
+
+/// Runs the whole static pass over in-memory `(rel_path, text)` pairs.
+/// `handler_names` is the `EFFECTS.json` handler set the event variants
+/// must stay in lockstep with.
+pub fn analyze_sources(
+    files: &[(String, String)],
+    world_rel: &str,
+    net_rel: &str,
+    latency_rel: &str,
+    handler_names: &BTreeSet<String>,
+) -> Analysis {
+    let mut diags = Vec::new();
+    let parsed: Vec<(SourceFile, Vec<FnItem>)> = files
+        .iter()
+        .map(|(rel, text)| {
+            let file = SourceFile::parse(rel, text);
+            let fns = parse_fns(&file.code);
+            (file, fns)
+        })
+        .collect();
+    let find = |rel: &str| {
+        parsed.iter().find(|(f, _)| f.rel == rel).map(|(f, fns)| (f, fns.as_slice()))
+    };
+
+    // The event classification table, from the world enum against the
+    // EFFECTS.json node-state partition.
+    let mut events: BTreeMap<String, EventClass> = BTreeMap::new();
+    let mut variant_names: BTreeSet<String> = BTreeSet::new();
+    match find(world_rel) {
+        Some((world, _)) => match defines_own_event_enum(&world.code) {
+            Some(pos) => {
+                for v in parse_event_enum(&world.code, pos) {
+                    variant_names.insert(v.name.clone());
+                    events.insert(kebab(&v.name), classify(&v));
+                }
+            }
+            None => diags.push(Diagnostic {
+                path: world_rel.to_string(),
+                line: 0,
+                rule: "variant-drift",
+                message: "no `enum Event` found in the world source".to_string(),
+            }),
+        },
+        None => diags.push(Diagnostic {
+            path: world_rel.to_string(),
+            line: 0,
+            rule: "variant-drift",
+            message: "the world source is missing from the scan".to_string(),
+        }),
+    }
+    if !events.is_empty() {
+        for name in events.keys() {
+            if !handler_names.contains(name) {
+                diags.push(Diagnostic {
+                    path: world_rel.to_string(),
+                    line: 0,
+                    rule: "variant-drift",
+                    message: format!(
+                        "event variant `{name}` has no handler entry in {EFFECTS_PATH} - \
+                         regenerate with `cargo xtask effects`"
+                    ),
+                });
+            }
+        }
+        for name in handler_names {
+            if !events.contains_key(name) {
+                diags.push(Diagnostic {
+                    path: world_rel.to_string(),
+                    line: 0,
+                    rule: "variant-drift",
+                    message: format!(
+                        "{EFFECTS_PATH} declares handler `{name}` but enum Event has no such \
+                         variant"
+                    ),
+                });
+            }
+        }
+    }
+
+    let default_min_ms = check_floor(find(latency_rel), find(net_rel), &mut diags);
+
+    // Per-file: the bypass rule, the transmit-argument rule, and every
+    // event-scheduling call site.
+    let mut sites = Vec::new();
+    for (file, fns) in &parsed {
+        let is_world = file.rel == world_rel;
+        let own_enum = !is_world && defines_own_event_enum(&file.code).is_some();
+        check_bypass(file, fns, is_world, &mut diags);
+        if is_world {
+            check_transmit_args(file, fns, &mut diags);
+        }
+        let code = &file.code;
+        let bytes = code.as_bytes();
+        let mut at = 0;
+        while let Some(found) = code[at..].find(".schedule(") {
+            let pos = at + found;
+            at = pos + 10;
+            let open = pos + 9;
+            let end = skip_balanced(bytes, open);
+            let inner = &code[open + 1..end.saturating_sub(1)];
+            let mut parts = split_top(inner);
+            if parts.last().is_some_and(|p| p.trim().is_empty()) {
+                parts.pop(); // multiline calls keep a trailing comma
+            }
+            if parts.len() != 2 {
+                continue;
+            }
+            let Some(variant) = event_variant(parts[1]) else { continue };
+            let delay = parts[0].split_whitespace().collect::<Vec<_>>().join(" ");
+            let func = enclosing_fn(fns, pos).map_or("<top>", |f| f.name.as_str()).to_string();
+            let class = if own_enum {
+                "file-local".to_string()
+            } else {
+                match events.get(&kebab(&variant)) {
+                    Some(ec) => ec.class.to_string(),
+                    None => {
+                        diags.push(file.diag(
+                            pos,
+                            "variant-drift",
+                            format!("scheduled `Event::{variant}` is not a world Event variant"),
+                        ));
+                        "unknown".to_string()
+                    }
+                }
+            };
+            // The delay bound: Deliver scheduled inside transmit must
+            // carry a `now + latency (+ …)` expression. The producers'
+            // floor makes `latency` >= the configured minimum and every
+            // further term (jitter, duplicate spacing) only adds.
+            if !own_enum && variant == "Deliver" && is_world && func == "transmit" {
+                let terms = plus_terms(&delay);
+                if !(terms.contains(&"now") && terms.contains(&"latency")) {
+                    diags.push(file.diag(
+                        pos,
+                        "unbounded-delay",
+                        format!(
+                            "Deliver scheduled in transmit with delay `{delay}` - the delay \
+                             must be `now + latency (+ …)` so the latency floor bounds it"
+                        ),
+                    ));
+                }
+            }
+            sites.push(Site { file: file.rel.clone(), func, event: variant, delay, class });
+        }
+    }
+    sites.sort_by(|a, b| {
+        (&a.file, &a.func, &a.event, &a.delay).cmp(&(&b.file, &b.func, &b.event, &b.delay))
+    });
+    sites.dedup_by(|a, b| {
+        (&a.file, &a.func, &a.event, &a.delay) == (&b.file, &b.func, &b.event, &b.delay)
+    });
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    let json = render_json(&events, &sites, default_min_ms, world_rel);
+    Analysis { diagnostics: diags, events, sites, default_min_ms, json }
+}
+
+/// Loads and analyzes the real tree under `root`.
+pub fn analyze(root: &Path) -> Analysis {
+    let mut files = Vec::new();
+    for name in SIM_REACHABLE_CRATES {
+        for path in source::crate_sources(root, name) {
+            let rel =
+                path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            let text = std::fs::read_to_string(&path).unwrap_or_default();
+            files.push((rel, text));
+        }
+    }
+    let effects = std::fs::read_to_string(root.join(EFFECTS_PATH)).unwrap_or_default();
+    let handler_names = handler_names_from_effects(&effects);
+    analyze_sources(&files, WORLD_FILE, NET_FILE, LATENCY_FILE, &handler_names)
+}
+
+/// The handler keys of the committed `EFFECTS.json` (the `"handlers"`
+/// object's top-level keys — each renders as `"name": {`).
+fn handler_names_from_effects(text: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let Some(h) = text.find("\"handlers\": {") else { return names };
+    let open = h + "\"handlers\": ".len();
+    let end = skip_balanced(text.as_bytes(), open);
+    for line in text[open..end].lines() {
+        let t = line.trim();
+        let Some(rest) = t.strip_prefix('"') else { continue };
+        let Some(q) = rest.find('"') else { continue };
+        if rest[q + 1..].trim_start().starts_with(": {") {
+            names.insert(rest[..q].to_string());
+        }
+    }
+    names
+}
+
+// ---------------------------------------------------------------------
+// Deterministic JSON rendering
+// ---------------------------------------------------------------------
+
+/// Renders the committed contract. Pure function of the analysis →
+/// `--check` can byte-compare; no line numbers or timestamps appear
+/// (call sites are keyed by enclosing function, not position).
+fn render_json(
+    events: &BTreeMap<String, EventClass>,
+    sites: &[Site],
+    default_min_ms: Option<u64>,
+    world_rel: &str,
+) -> String {
+    let mut o = String::new();
+    o.push_str("{\n  \"schema\": \"aria-horizon\",\n  \"version\": 1,\n  \"crates\": [");
+    for (i, c) in SIM_REACHABLE_CRATES.iter().enumerate() {
+        if i > 0 {
+            o.push_str(", ");
+        }
+        o.push_str(&format!("\"{c}\""));
+    }
+    o.push_str("],\n  \"floor\": {\n");
+    o.push_str("    \"source\": \"WorldConfig.latency (LatencyModel): minimum one-way link latency\",\n");
+    o.push_str(&format!(
+        "    \"default_min_ms\": {},\n",
+        default_min_ms.map_or("null".to_string(), |ms| ms.to_string())
+    ));
+    o.push_str("    \"guard\": \"LatencyModel::new rejects a zero minimum; NetModel::Lockstep collapses latencies to zero, so sharded execution requires NetModel::Sampled\",\n");
+    o.push_str("    \"producers\": {\n");
+    o.push_str("      \"flood_latency\": \"one sampled link latency, >= floor under Sampled\",\n");
+    o.push_str("      \"reply_latency\": \"reply_hops sampled link latencies, each >= floor under Sampled\"\n");
+    o.push_str("    }\n  },\n");
+    o.push_str(&format!("  \"choke_point\": \"{world_rel}::transmit\",\n"));
+    o.push_str("  \"events\": {\n");
+    for (i, (name, ec)) in events.iter().enumerate() {
+        let comma = if i + 1 < events.len() { "," } else { "" };
+        let key = ec.shard_key.as_ref().map_or("null".to_string(), |k| format!("\"{k}\""));
+        o.push_str(&format!(
+            "    \"{name}\": {{\"variant\": \"{}\", \"class\": \"{}\", \"shard_key\": {key}}}{comma}\n",
+            ec.variant, ec.class
+        ));
+    }
+    o.push_str("  },\n  \"schedule_sites\": [\n");
+    for (i, s) in sites.iter().enumerate() {
+        let comma = if i + 1 < sites.len() { "," } else { "" };
+        o.push_str(&format!(
+            "    {{\"file\": \"{}\", \"fn\": \"{}\", \"event\": \"{}\", \"delay\": \"{}\", \"class\": \"{}\"}}{comma}\n",
+            s.file, s.func, s.event, s.delay, s.class
+        ));
+    }
+    o.push_str("  ],\n  \"rules\": {\n");
+    for (i, (name, desc)) in RULE_DOCS.iter().enumerate() {
+        let comma = if i + 1 < RULE_DOCS.len() { "," } else { "" };
+        o.push_str(&format!("    \"{name}\": \"{desc}\"{comma}\n"));
+    }
+    o.push_str("  }\n}\n");
+    o
+}
+
+// ---------------------------------------------------------------------
+// CLI
+// ---------------------------------------------------------------------
+
+const USAGE: &str = "usage: cargo xtask horizon [--check | --self-check]";
+
+/// Entry point for `cargo xtask horizon`.
+pub fn run(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        None => generate(false),
+        Some("--check") => generate(true),
+        Some("--self-check") => match self_check_cases() {
+            Ok(()) => {
+                println!("horizon --self-check: every planted violation was caught");
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("horizon --self-check: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Some(other) => {
+            eprintln!("xtask horizon: unknown flag `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Default mode writes `HORIZON.json`; `--check` regenerates and
+/// byte-compares against the committed contract.
+fn generate(check: bool) -> ExitCode {
+    let root = workspace_root();
+    let analysis = analyze(&root);
+    if !analysis.diagnostics.is_empty() {
+        for d in &analysis.diagnostics {
+            eprintln!("{d}");
+        }
+        eprintln!("xtask horizon: {} violation(s)", analysis.diagnostics.len());
+        return ExitCode::FAILURE;
+    }
+    let summary = format!(
+        "{} event variant(s), {} schedule site(s), floor {} ms",
+        analysis.events.len(),
+        analysis.sites.len(),
+        analysis.default_min_ms.unwrap_or(0)
+    );
+    let path = root.join(HORIZON_PATH);
+    if check {
+        let committed = std::fs::read_to_string(&path).unwrap_or_default();
+        if committed == analysis.json {
+            println!("xtask horizon --check: clean tree, {HORIZON_PATH} is current ({summary})");
+            return ExitCode::SUCCESS;
+        }
+        for (i, (a, b)) in committed.lines().zip(analysis.json.lines()).enumerate() {
+            if a != b {
+                eprintln!("xtask horizon: {HORIZON_PATH} line {}:", i + 1);
+                eprintln!("  committed: {a}");
+                eprintln!("  current:   {b}");
+                break;
+            }
+        }
+        eprintln!(
+            "xtask horizon: {HORIZON_PATH} is stale - regenerate with `cargo xtask horizon` \
+             and commit the result"
+        );
+        ExitCode::FAILURE
+    } else {
+        if let Err(error) = std::fs::write(&path, &analysis.json) {
+            eprintln!("xtask horizon: cannot write {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("xtask horizon: wrote {HORIZON_PATH} ({summary})");
+        ExitCode::SUCCESS
+    }
+}
+
+// ---------------------------------------------------------------------
+// Self-check fixtures
+// ---------------------------------------------------------------------
+
+/// Builds the fixture world: a three-variant event enum, a dispatch, a
+/// timer that transmits, and the marked transmit choke point.
+fn mini_world(deliver_extra: &str, tick_body: &str, transmit_body: &str) -> String {
+    format!(
+        "pub(crate) enum Event {{\n    Deliver {{ to: NodeId, msg: Msg }},\n    \
+         Tick {{ node: NodeId }},\n    Sample,\n}}\n\nimpl World {{\n    \
+         fn handle(&mut self, now: SimTime, event: Event) {{\n        match event {{\n            \
+         Event::Deliver {{ to, msg }} => self.deliver(now, to, msg),\n            \
+         Event::Tick {{ node }} => self.tick(now, node),\n            \
+         Event::Sample => self.sample(now),\n        }}\n    }}\n\n    \
+         fn deliver(&mut self, now: SimTime, to: NodeId, msg: Msg) {{\n        {deliver_extra}\n        \
+         self.events.schedule(now + self.period, Event::Tick {{ node: to }});\n    }}\n\n    \
+         fn tick(&mut self, now: SimTime, node: NodeId) {{\n        {tick_body}\n    }}\n\n    \
+         fn sample(&mut self, now: SimTime) {{\n        \
+         self.events.schedule(now + self.sample_every, Event::Sample);\n    }}\n\n    \
+         // effects:choke-point(deliver) - sole Deliver scheduling site.\n    \
+         fn transmit(&mut self, now: SimTime, to: NodeId, msg: Msg, latency: SimDuration) {{\n        \
+         {transmit_body}\n    }}\n}}\n"
+    )
+}
+
+/// The fixture NetModel with honest Sampled arms.
+fn mini_net() -> String {
+    "pub(crate) enum NetModel { Sampled, Lockstep }\n\nimpl NetModel {\n    \
+     pub(crate) fn flood_latency(&self, link: SimDuration) -> SimDuration {\n        \
+     match self {\n            NetModel::Sampled => link,\n            \
+     NetModel::Lockstep => SimDuration::ZERO,\n        }\n    }\n\n    \
+     pub(crate) fn reply_latency(&self, rng: &mut Rng, latency: &LatencyModel, reply_hops: u32) -> SimDuration {\n        \
+     match self {\n            NetModel::Sampled => {\n                \
+     let mut total = SimDuration::ZERO;\n                \
+     for _ in 0..reply_hops {\n                    total = total + latency.sample(rng);\n                \
+     }\n                total\n            }\n            \
+     NetModel::Lockstep => SimDuration::ZERO,\n        }\n    }\n}\n"
+        .to_string()
+}
+
+/// The fixture LatencyModel; `guarded` controls the zero-min assert.
+fn mini_latency(guarded: bool) -> String {
+    let guard = if guarded {
+        "assert!(!min.is_zero(), \"minimum latency must be positive\");\n        "
+    } else {
+        ""
+    };
+    format!(
+        "impl LatencyModel {{\n    pub fn new(min: SimDuration, max: SimDuration) -> LatencyModel {{\n        \
+         {guard}LatencyModel {{ min, max }}\n    }}\n}}\n\nimpl Default for LatencyModel {{\n    \
+         fn default() -> LatencyModel {{\n        \
+         LatencyModel::new(SimDuration::from_millis(5), SimDuration::from_millis(150))\n    }}\n}}\n"
+    )
+}
+
+/// Runs each planted-violation fixture through the full analyzer and
+/// demands the expected rule fires (and nothing fires on the clean
+/// fixtures). The clean fixture also pins the classification table.
+pub fn self_check_cases() -> Result<(), String> {
+    let clean_tick = "let latency = self.config.net.flood_latency(self.link(node));\n        \
+                      self.transmit(now, node, Msg::Ping, latency);";
+    let clean_transmit = "self.events.schedule(now + latency, Event::Deliver { to, msg });";
+    let handler_names: BTreeSet<String> =
+        ["deliver", "tick", "sample"].iter().map(|s| s.to_string()).collect();
+    let drifted_names: BTreeSet<String> =
+        ["deliver", "sample"].iter().map(|s| s.to_string()).collect();
+    type Case<'a> = (&'a str, String, String, &'a BTreeSet<String>, Option<&'a str>);
+    let cases: Vec<Case<'_>> = vec![
+        (
+            "clean fixture",
+            mini_world("self.nodes[to].seen += 1;", clean_tick, clean_transmit),
+            mini_latency(true),
+            &handler_names,
+            None,
+        ),
+        (
+            "allowed replay driver",
+            mini_world(
+                "// effects:allow(deliver-choke): fixture replay driver, not handler code\n        \
+                 self.events.schedule(now, Event::Deliver { to, msg });",
+                clean_tick,
+                clean_transmit,
+            ),
+            mini_latency(true),
+            &handler_names,
+            None,
+        ),
+        (
+            "planted transmit bypass",
+            mini_world(
+                "self.events.schedule(now, Event::Deliver { to, msg });",
+                clean_tick,
+                clean_transmit,
+            ),
+            mini_latency(true),
+            &handler_names,
+            Some("transmit-bypass"),
+        ),
+        (
+            "planted zero-delay cross-node schedule",
+            mini_world(
+                "self.nodes[to].seen += 1;",
+                clean_tick,
+                "self.events.schedule(now, Event::Deliver { to, msg });",
+            ),
+            mini_latency(true),
+            &handler_names,
+            Some("unbounded-delay"),
+        ),
+        (
+            "planted raw latency argument",
+            mini_world(
+                "self.nodes[to].seen += 1;",
+                "self.transmit(now, node, Msg::Ping, SimDuration::ZERO);",
+                clean_transmit,
+            ),
+            mini_latency(true),
+            &handler_names,
+            Some("latency-source"),
+        ),
+        (
+            "planted floor removal",
+            mini_world("self.nodes[to].seen += 1;", clean_tick, clean_transmit),
+            mini_latency(false),
+            &handler_names,
+            Some("floor-guard"),
+        ),
+        (
+            "planted handler drift",
+            mini_world("self.nodes[to].seen += 1;", clean_tick, clean_transmit),
+            mini_latency(true),
+            &drifted_names,
+            Some("variant-drift"),
+        ),
+    ];
+    for (name, world, latency, names, expect) in cases {
+        let files = vec![
+            (WORLD_FILE.to_string(), world),
+            (NET_FILE.to_string(), mini_net()),
+            (LATENCY_FILE.to_string(), latency),
+        ];
+        let analysis = analyze_sources(&files, WORLD_FILE, NET_FILE, LATENCY_FILE, names);
+        match expect {
+            None => {
+                if !analysis.diagnostics.is_empty() {
+                    return Err(format!(
+                        "{name}: expected a clean pass, got: {}",
+                        analysis.diagnostics[0]
+                    ));
+                }
+                let deliver = analysis
+                    .events
+                    .get("deliver")
+                    .ok_or_else(|| format!("{name}: Deliver not classified"))?;
+                let tick = analysis
+                    .events
+                    .get("tick")
+                    .ok_or_else(|| format!("{name}: Tick not classified"))?;
+                let sample = analysis
+                    .events
+                    .get("sample")
+                    .ok_or_else(|| format!("{name}: Sample not classified"))?;
+                if deliver.class != "cross-node" || deliver.shard_key.as_deref() != Some("to") {
+                    return Err(format!("{name}: Deliver misclassified"));
+                }
+                if tick.class != "shard-local" || tick.shard_key.as_deref() != Some("node") {
+                    return Err(format!("{name}: Tick misclassified"));
+                }
+                if sample.class != "global" || sample.shard_key.is_some() {
+                    return Err(format!("{name}: Sample misclassified"));
+                }
+                if !analysis
+                    .sites
+                    .iter()
+                    .any(|s| s.func == "transmit" && s.event == "Deliver" && s.class == "cross-node")
+                {
+                    return Err(format!("{name}: the transmit Deliver site was not recorded"));
+                }
+                if analysis.default_min_ms != Some(5) {
+                    return Err(format!("{name}: default floor not extracted"));
+                }
+                println!("horizon --self-check: {name}: clean, classification table correct");
+            }
+            Some(rule) => match analysis.diagnostics.iter().find(|d| d.rule == rule) {
+                Some(d) => println!("horizon --self-check: {name}: caught ({d})"),
+                None => {
+                    return Err(format!(
+                        "{name}: expected a `{rule}` violation, analyzer saw {} other \
+                         diagnostic(s)",
+                        analysis.diagnostics.len()
+                    ))
+                }
+            },
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_check_catches_every_planted_violation() {
+        self_check_cases().expect("self-check fixtures");
+    }
+
+    #[test]
+    fn delay_terms_split_at_top_level_plus_only() {
+        assert_eq!(plus_terms("now + latency"), ["now", "latency"]);
+        assert_eq!(plus_terms("now + latency + jitter + extra"), ["now", "latency", "jitter", "extra"]);
+        assert_eq!(plus_terms("now + self.jitter(a + b)"), ["now", "self.jitter(a + b)"]);
+        assert_eq!(plus_terms("now"), ["now"]);
+    }
+
+    #[test]
+    fn real_tree_is_clean_and_classifies_all_variants() {
+        let analysis = analyze(&workspace_root());
+        assert!(
+            analysis.diagnostics.is_empty(),
+            "horizon violations on the tree:\n{}",
+            analysis
+                .diagnostics
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert_eq!(analysis.events.len(), 14, "{:?}", analysis.events.keys());
+        assert_eq!(analysis.events["deliver"].class, "cross-node");
+        assert_eq!(analysis.events["deliver"].shard_key.as_deref(), Some("to"));
+        assert_eq!(analysis.events["inform-tick"].class, "shard-local");
+        assert_eq!(analysis.events["submit"].class, "global");
+        assert_eq!(analysis.default_min_ms, Some(5));
+        // The three transmit Deliver sites (plain, jittered, duplicate)
+        // are all floor-bounded and recorded.
+        let transmit_sites: Vec<&Site> = analysis
+            .sites
+            .iter()
+            .filter(|s| s.file == WORLD_FILE && s.func == "transmit")
+            .collect();
+        assert_eq!(transmit_sites.len(), 3, "expected plain + jitter + duplicate Deliver sites");
+        for s in transmit_sites {
+            assert_eq!(s.class, "cross-node");
+            assert!(s.delay.contains("latency"), "{}", s.delay);
+        }
+    }
+
+    /// The tentpole golden: regenerating the contract on an unchanged
+    /// tree is byte-identical to the committed `HORIZON.json`.
+    #[test]
+    fn committed_horizon_contract_is_current() {
+        let root = workspace_root();
+        let analysis = analyze(&root);
+        let committed = std::fs::read_to_string(root.join(HORIZON_PATH))
+            .expect("HORIZON.json must be committed; run `cargo xtask horizon`");
+        assert!(
+            committed == analysis.json,
+            "HORIZON.json is stale - regenerate with `cargo xtask horizon`"
+        );
+    }
+}

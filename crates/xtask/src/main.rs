@@ -15,6 +15,13 @@
 //!   RNG stream ownership, no handler-reachable unordered containers),
 //!   and emits the committed `EFFECTS.json` the sharded runner will be
 //!   built along (see [`effects`]).
+//! * `horizon` — the latency-horizon analyzer described in DESIGN.md
+//!   §14: proves every cross-node event flows through `World::transmit`
+//!   with a delay bounded below by the link-latency floor, classifies
+//!   every event variant as cross-node / shard-local / global against
+//!   the `EFFECTS.json` partition, and commits `HORIZON.json` — the
+//!   contract the sharded deterministic runner (`aria_core::shard`)
+//!   loads and revalidates at runtime (see [`horizon`]).
 //! * `explore` — bounded exhaustive exploration of the ARiA message
 //!   state machine over every delivery ordering of a small world (see
 //!   [`explore`] and `crates/model`).
@@ -34,6 +41,9 @@
 //! cargo xtask effects --check       # diff regeneration against the committed map
 //! cargo xtask effects --self-check  # prove the analyzer catches planted violations
 //! cargo xtask effects --audit       # runtime tracer: observed ⊆ static on goldens
+//! cargo xtask horizon               # regenerate HORIZON.json + summary
+//! cargo xtask horizon --check       # diff regeneration against the committed contract
+//! cargo xtask horizon --self-check  # prove the analyzer catches planted violations
 //! cargo xtask explore --nodes 4     # enumerate a 4-node world's orderings
 //! cargo xtask explore --self-check  # prove the checker still catches violations
 //! cargo xtask probe run --scenario iMixed --scale 40 80 --out t.jsonl
@@ -48,6 +58,7 @@
 mod chaos;
 mod effects;
 mod explore;
+mod horizon;
 mod probe;
 mod rules;
 mod scan;
@@ -76,14 +87,15 @@ fn main() -> ExitCode {
             }
         }
         Some("effects") => effects::run(&args[1..]),
+        Some("horizon") => horizon::run(&args[1..]),
         Some("explore") => explore::run(&args[1..]),
         Some("probe") => probe::run(&args[1..]),
         Some("chaos") => chaos::run(&args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo xtask <lint [--self-check|--list] \
-                 | effects [--check|--self-check|--audit] | explore [flags] | probe <cmd> \
-                 | chaos [flags]>"
+                 | effects [--check|--self-check|--audit] | horizon [--check|--self-check] \
+                 | explore [flags] | probe <cmd> | chaos [flags]>"
             );
             ExitCode::FAILURE
         }
@@ -180,6 +192,8 @@ fn self_check_gate() -> ExitCode {
         ("wall-clock", "let t = std::time::Instant::now();\n"),
         ("wall-clock", "let t = SystemTime::now();\n"),
         ("ambient-rng", "let mut rng = rand::thread_rng();\n"),
+        ("thread-spawn", "let h = std::thread::spawn(move || work());\n"),
+        ("thread-spawn", "let pool = ThreadPool::with_threads(8);\n"),
         (
             "unordered-reduction",
             "// det:allow(hash-collections): seeded\nlet s: f64 = m.values().sum::<f64>(); let m: HashMap<u32, f64> = x;\n",
@@ -203,13 +217,15 @@ fn self_check_gate() -> ExitCode {
         eprintln!("self-check: allow marker failed to suppress");
         broken += 1;
     }
-    // Integer-only casts and integer sort keys are fine: the float rules
-    // must not fire on them (precision guard against over-matching).
+    // Integer-only casts, integer sort keys and scoped worker threads
+    // are fine: the float and spawn rules must not fire on them
+    // (precision guard against over-matching).
     let clean = "let idx = (t.as_millis() / period.as_millis()) as usize;\n\
                  keyed.sort_by_key(|&(key, id)| (key, id));\n\
-                 let wide = spec.min_memory_gb as u64 * GIB;\n";
+                 let wide = spec.min_memory_gb as u64 * GIB;\n\
+                 std::thread::scope(|scope| { scope.spawn(move || drain(rx)); });\n";
     if !rules::check_determinism("<self-check>", clean).is_empty() {
-        eprintln!("self-check: float rules over-match integer-only code");
+        eprintln!("self-check: rules over-match integer-only or scoped-thread code");
         broken += 1;
     }
     // Line attribution must not drift past escaped char literals or

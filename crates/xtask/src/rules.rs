@@ -71,6 +71,14 @@ const RULES: &[Rule] = &[
         why: "ambient randomness: every draw must come from a SimRng forked from the run seed",
     },
     Rule {
+        name: "thread-spawn",
+        patterns: &["thread::spawn", "ThreadPool", "threadpool", "rayon"],
+        why: "ambient threading: free-running threads and global pools make scheduling \
+              nondeterministic and oversubscribe cores; use scoped threads (std::thread::scope) \
+              drawing worker permits from aria_sim::pool, as the multi-seed runner and the \
+              shard executor do",
+    },
+    Rule {
         name: "float-ord",
         patterns: &["partial_cmp"],
         why: "partial float ordering: `partial_cmp(..).unwrap()` panics on NaN and silently \
@@ -268,6 +276,20 @@ mod tests {
     #[test]
     fn sim_types_do_not_trip_the_wall_clock_rule() {
         assert!(rules_hit("let t: SimTime = world.now(); let i = SimInstant::ZERO;").is_empty());
+    }
+
+    #[test]
+    fn ambient_thread_spawns_are_flagged() {
+        assert_eq!(rules_hit("let h = std::thread::spawn(move || work());"), ["thread-spawn"]);
+        assert_eq!(rules_hit("let pool = ThreadPool::new(8);"), ["thread-spawn"]);
+        assert_eq!(rules_hit("rayon::join(a, b);"), ["thread-spawn"]);
+    }
+
+    #[test]
+    fn scoped_threads_do_not_trip_the_spawn_rule() {
+        let scoped = "std::thread::scope(|scope| {\n    let h = scope.spawn(move || work());\n});\n";
+        assert!(rules_hit(scoped).is_empty());
+        assert!(rules_hit("let threads = pool::reserve(want);").is_empty());
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! The sharded executor's equivalence gates (DESIGN.md §14).
+//!
+//! `World::run_sharded` must be a pure wall-clock optimisation: the
+//! latency-horizon windows, the parallel bid precompute and the
+//! deterministic cross-shard merge may never change a single observable
+//! of the trajectory. Two claims pin that:
+//!
+//! 1. **Goldens** — the determinism-golden scenarios (iMixed, seeds 11
+//!    and 12) produce bit-for-bit identical final worlds and probe
+//!    traces at 1, 2, 4 and 8 shards.
+//! 2. **Randomized worlds** — across joins, crashes, lossy transport,
+//!    duplicates, jitter and partition windows, the sharded run's state
+//!    fingerprint and full probe trace equal the serial run's at every
+//!    shard count.
+//!
+//! The companion static gate — every cross-node edge flows through
+//! `World::transmit` with a floor-bounded delay — is `cargo xtask
+//! horizon --check` against the committed `HORIZON.json`.
+
+use aria_core::{FaultPlan, PartitionWindow, World, WorldConfig};
+use aria_probe::{RingRecorder, TraceMeta};
+use aria_scenarios::{Runner, Scenario};
+use aria_sim::{SimDuration, SimTime};
+use aria_workload::{JobGenerator, SubmissionSchedule};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+#[test]
+fn golden_scenarios_are_bit_identical_at_every_shard_count() {
+    let runner = Runner::scaled(30, 15);
+    for seed in [11, 12] {
+        let (serial_stats, serial_trace) = runner.run_once_traced(Scenario::IMixed, seed);
+        for shards in SHARD_COUNTS {
+            let (stats, trace) = runner.run_once_traced_sharded(Scenario::IMixed, seed, shards);
+            assert_eq!(
+                serial_trace, trace,
+                "seed {seed}: probe trace diverged at {shards} shard(s)"
+            );
+            assert_eq!(serial_stats.events, stats.events, "seed {seed}, {shards} shard(s)");
+            assert_eq!(serial_stats.completed, stats.completed, "seed {seed}, {shards} shard(s)");
+            assert_eq!(serial_stats.traffic, stats.traffic, "seed {seed}, {shards} shard(s)");
+        }
+    }
+}
+
+#[test]
+fn golden_final_worlds_share_one_fingerprint_across_shard_counts() {
+    let runner = Runner::scaled(30, 15);
+    for seed in [11, 12] {
+        let mut serial =
+            runner.build_world(Scenario::IMixed, seed, FaultPlan::none(), aria_probe::NullProbe);
+        serial.run();
+        let expected = serial.fingerprint();
+        for shards in SHARD_COUNTS {
+            let mut world = runner.build_world(
+                Scenario::IMixed,
+                seed,
+                FaultPlan::none(),
+                aria_probe::NullProbe,
+            );
+            world.run_sharded(shards);
+            assert_eq!(
+                expected,
+                world.fingerprint(),
+                "seed {seed}: fingerprint diverged at {shards} shard(s)"
+            );
+        }
+    }
+}
+
+/// Builds one randomized world — churn, faults and all — runs it with
+/// the chosen executor, and returns its state fingerprint plus the full
+/// probe recording.
+fn run_world(
+    seed: u64,
+    joins: u64,
+    crashes: u64,
+    loss_pct: u32,
+    windows: u64,
+    shards: Option<usize>,
+) -> (u64, aria_probe::Trace) {
+    let mut config = WorldConfig::small_test(20);
+    config.joins = (0..joins).map(|i| SimTime::from_mins(20 + 30 * i)).collect();
+    config.crashes = (0..crashes).map(|i| SimTime::from_mins(35 + 45 * i)).collect();
+    config.fault = FaultPlan {
+        loss: f64::from(loss_pct) / 100.0,
+        duplicate: 0.05,
+        jitter_ms: 250,
+        partitions: (0..windows)
+            .map(|i| PartitionWindow {
+                start: SimTime::from_mins(40 + 90 * i),
+                duration: SimDuration::from_mins(8),
+            })
+            .collect(),
+        keep: None,
+    };
+    let mut world = World::with_probe(config, seed, RingRecorder::default());
+    let mut generator = JobGenerator::paper_batch();
+    let schedule = SubmissionSchedule::new(SimTime::from_mins(1), SimDuration::from_secs(40), 10);
+    world.submit_schedule(&schedule, &mut generator);
+    match shards {
+        None => {
+            world.run();
+        }
+        Some(shards) => {
+            world.run_sharded(shards);
+        }
+    }
+    let fingerprint = world.fingerprint();
+    let meta = TraceMeta {
+        scenario: "sharded-equivalence".to_string(),
+        seed,
+        nodes: 20,
+        jobs: 10,
+    };
+    (fingerprint, world.into_probe().into_trace(meta))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Claim 2: sharded == serial, bit for bit, on randomized worlds at
+    /// every shard count.
+    #[test]
+    fn sharded_equals_serial_on_random_worlds(
+        seed in 0u64..1000,
+        joins in 0u64..4,
+        crashes in 0u64..3,
+        loss_pct in 0u32..30,
+        windows in 0u64..2,
+    ) {
+        let (serial_fp, serial_trace) = run_world(seed, joins, crashes, loss_pct, windows, None);
+        for shards in SHARD_COUNTS {
+            let (fp, trace) = run_world(seed, joins, crashes, loss_pct, windows, Some(shards));
+            prop_assert_eq!(serial_fp, fp, "fingerprint diverged at {} shard(s)", shards);
+            prop_assert_eq!(
+                &serial_trace, &trace,
+                "probe trace diverged at {} shard(s)", shards
+            );
+        }
+    }
+}
