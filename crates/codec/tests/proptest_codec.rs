@@ -1,0 +1,146 @@
+//! Property-based tests: every [`LiveMsg`] survives an encode/decode
+//! round trip exactly, and the decoder is panic-free (and strict) on
+//! arbitrary and corrupted bytes.
+
+use aria_codec::{decode, encode, CodecError, MAX_PAYLOAD};
+use aria_core::driver::{FloodUid, LiveMsg};
+use aria_grid::{
+    Architecture, Cost, JobId, JobPriority, JobRequirements, JobSpec, OperatingSystem,
+};
+use aria_overlay::NodeId;
+use aria_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_arch() -> impl Strategy<Value = Architecture> {
+    proptest::sample::select(Architecture::ALL.to_vec())
+}
+
+fn arb_os() -> impl Strategy<Value = OperatingSystem> {
+    proptest::sample::select(OperatingSystem::ALL.to_vec())
+}
+
+prop_compose! {
+    fn arb_spec()(
+        id in 0u64..u64::MAX,
+        arch in arb_arch(),
+        os in arb_os(),
+        mem in 0u16..u16::MAX,
+        disk in 0u16..u16::MAX,
+        ert_ms in 0u64..100_000_000_000,
+        deadline_ms in proptest::option::of(0u64..100_000_000_000),
+        priority in 0u8..u8::MAX,
+    ) -> JobSpec {
+        JobSpec {
+            id: JobId::new(id),
+            requirements: JobRequirements::new(arch, os, mem, disk),
+            ert: SimDuration::from_millis(ert_ms),
+            deadline: deadline_ms.map(SimTime::from_millis),
+            priority: JobPriority(priority),
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_flood()(origin in 0u32..1_000_000, seq in 0u32..u32::MAX) -> FloodUid {
+        FloodUid { origin: NodeId::new(origin), seq }
+    }
+}
+
+prop_compose! {
+    fn arb_visited()(raw in proptest::collection::vec(0u32..1_000_000, 0..40)) -> Vec<NodeId> {
+        raw.into_iter().map(NodeId::new).collect()
+    }
+}
+
+prop_compose! {
+    /// One arbitrary message of any of the ten wire kinds.
+    fn arb_msg()(
+        kind in 0u8..10,
+        spec in arb_spec(),
+        node_a in 0u32..1000,
+        node_b in 0u32..1000,
+        job in 0u64..1_000_000,
+        cost_ms in -1_000_000_000_000i64..1_000_000_000_000,
+        hops_left in 0u32..64,
+        flood in arb_flood(),
+        visited in arb_visited(),
+    ) -> LiveMsg {
+        let a = NodeId::new(node_a);
+        let b = NodeId::new(node_b);
+        let job = JobId::new(job);
+        let cost = Cost::from_nal(cost_ms);
+        match kind {
+            0 => LiveMsg::Request { initiator: a, spec, hops_left, flood, visited },
+            1 => LiveMsg::Accept { from: a, job, cost },
+            2 => LiveMsg::Inform { assignee: a, spec, cost, hops_left, flood, visited },
+            3 => LiveMsg::Assign { initiator: a, spec },
+            4 => LiveMsg::Ack { from: a, job },
+            5 => LiveMsg::Join { node: a },
+            6 => LiveMsg::Leave { node: a },
+            7 => LiveMsg::Submit { spec },
+            8 => LiveMsg::Done { job, node: b },
+            _ => LiveMsg::Shutdown,
+        }
+    }
+}
+
+proptest! {
+    /// Every message survives encode → decode exactly.
+    #[test]
+    fn round_trips(msg in arb_msg()) {
+        let bytes = encode(&msg);
+        prop_assert!(bytes.len() - 4 <= MAX_PAYLOAD, "encoder stays under the payload bound");
+        let back = decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Arbitrary garbage never panics the decoder.
+    #[test]
+    fn decoder_is_panic_free_on_garbage(bytes in proptest::collection::vec(0u8..255, 0..200)) {
+        let _ = decode(&bytes);
+    }
+
+    /// Single-byte corruption of a valid frame never panics, and
+    /// anything that still decodes re-encodes cleanly (the decoder only
+    /// accepts well-formed messages).
+    #[test]
+    fn corrupt_byte_never_panics(msg in arb_msg(), pos in 0usize..4096, delta in 1u8..255) {
+        let mut bytes = encode(&msg);
+        let pos = pos % bytes.len();
+        bytes[pos] = bytes[pos].wrapping_add(delta);
+        if let Ok(decoded) = decode(&bytes) {
+            let _ = encode(&decoded);
+        }
+    }
+
+    /// Truncation at every length yields an error, never a panic or a
+    /// bogus success (a strict frame cannot parse from a prefix).
+    #[test]
+    fn every_truncation_is_rejected(msg in arb_msg(), cut in 0usize..4096) {
+        let bytes = encode(&msg);
+        let cut = cut % bytes.len();
+        let result = decode(&bytes[..cut]);
+        prop_assert!(result.is_err(), "prefix of {} bytes decoded: {:?}", cut, result);
+    }
+}
+
+/// Pinned case: flipping the visited-count bytes of a REQUEST to a huge
+/// value must be rejected by the bound check, not attempt an allocation.
+#[test]
+fn hostile_visited_count_is_bounded() {
+    let msg = LiveMsg::Request {
+        initiator: NodeId::new(1),
+        spec: JobSpec::batch(
+            JobId::new(1),
+            JobRequirements::new(Architecture::Amd64, OperatingSystem::Linux, 1, 1),
+            SimDuration::from_secs(60),
+        ),
+        hops_left: 3,
+        flood: FloodUid { origin: NodeId::new(1), seq: 0 },
+        visited: vec![NodeId::new(1)],
+    };
+    let mut bytes = encode(&msg);
+    let count_at = bytes.len() - 4 - 2; // one visited entry + the count field
+    bytes[count_at..count_at + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+    assert_eq!(decode(&bytes), Err(CodecError::VisitedTooLong(u16::MAX as usize)));
+}

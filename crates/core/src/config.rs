@@ -8,6 +8,39 @@ use aria_sim::{SimDuration, SimRng, SimTime};
 use aria_workload::{ArtModel, ClampedNormal};
 use serde::{Deserialize, Serialize};
 
+/// The protocol's reliability-critical timing knobs, factored into one
+/// struct so the simulator ([`AriaConfig`]) and the live node runtime
+/// (`aria-node`'s config) share a single source of defaults — sim and
+/// live cannot silently disagree on offer windows or the ASSIGN-ACK
+/// retransmit schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolTiming {
+    /// How long an initiator collects ACCEPT offers before delegating.
+    pub accept_window: SimDuration,
+    /// Delay before re-flooding a REQUEST that received no offer.
+    pub request_retry: SimDuration,
+    /// Give up re-flooding after this many attempts.
+    pub max_request_rounds: u32,
+    /// How long an assigner waits for the assignee's ACK before
+    /// retransmitting an ASSIGN.
+    pub assign_ack_timeout: SimDuration,
+    /// ASSIGN retransmit budget before falling back to the next-best
+    /// offer and then the §III-D failsafe.
+    pub assign_max_retries: u32,
+}
+
+impl Default for ProtocolTiming {
+    fn default() -> Self {
+        ProtocolTiming {
+            accept_window: SimDuration::from_secs(5),
+            request_retry: SimDuration::from_secs(60),
+            max_request_rounds: 50,
+            assign_ack_timeout: SimDuration::from_secs(2),
+            assign_max_retries: 4,
+        }
+    }
+}
+
 /// Tunable parameters of the ARiA protocol.
 ///
 /// Defaults reproduce the paper's baseline (§IV-E): REQUEST floods travel
@@ -66,6 +99,7 @@ pub struct AriaConfig {
 
 impl Default for AriaConfig {
     fn default() -> Self {
+        let timing = ProtocolTiming::default();
         AriaConfig {
             request_hops: 9,
             request_fanout: 4,
@@ -75,12 +109,12 @@ impl Default for AriaConfig {
             inform_period: SimDuration::from_mins(5),
             inform_batch: 2,
             reschedule_threshold: SimDuration::from_mins(3),
-            accept_window: SimDuration::from_secs(5),
-            request_retry: SimDuration::from_secs(60),
-            max_request_rounds: 50,
+            accept_window: timing.accept_window,
+            request_retry: timing.request_retry,
+            max_request_rounds: timing.max_request_rounds,
             reply_hops: 4,
-            assign_ack_timeout: SimDuration::from_secs(2),
-            assign_max_retries: 4,
+            assign_ack_timeout: timing.assign_ack_timeout,
+            assign_max_retries: timing.assign_max_retries,
             forward_on_match: false,
         }
     }
@@ -90,6 +124,31 @@ impl AriaConfig {
     /// The paper's baseline with rescheduling disabled (plain scenarios).
     pub fn without_rescheduling() -> Self {
         AriaConfig { rescheduling: false, ..AriaConfig::default() }
+    }
+
+    /// The reliability-timing view of this config (the slice shared with
+    /// the live node runtime).
+    pub fn timing(&self) -> ProtocolTiming {
+        ProtocolTiming {
+            accept_window: self.accept_window,
+            request_retry: self.request_retry,
+            max_request_rounds: self.max_request_rounds,
+            assign_ack_timeout: self.assign_ack_timeout,
+            assign_max_retries: self.assign_max_retries,
+        }
+    }
+
+    /// Applies a [`ProtocolTiming`] wholesale (how the node runtime's
+    /// config overrides land back on the protocol parameters).
+    pub fn with_timing(self, timing: ProtocolTiming) -> Self {
+        AriaConfig {
+            accept_window: timing.accept_window,
+            request_retry: timing.request_retry,
+            max_request_rounds: timing.max_request_rounds,
+            assign_ack_timeout: timing.assign_ack_timeout,
+            assign_max_retries: timing.assign_max_retries,
+            ..self
+        }
     }
 }
 
@@ -291,6 +350,26 @@ mod tests {
         // ASSIGN hardening knobs (only live under an active FaultPlan).
         assert_eq!(c.assign_ack_timeout, SimDuration::from_secs(2));
         assert_eq!(c.assign_max_retries, 4);
+    }
+
+    #[test]
+    fn timing_slice_roundtrips_and_sources_the_defaults() {
+        let c = AriaConfig::default();
+        // One source of truth: the default protocol timing *is* the
+        // default timing slice of AriaConfig.
+        assert_eq!(c.timing(), ProtocolTiming::default());
+        assert_eq!(c.with_timing(c.timing()), c);
+        // An override lands on exactly the timing fields.
+        let fast = ProtocolTiming {
+            accept_window: SimDuration::from_millis(300),
+            request_retry: SimDuration::from_secs(1),
+            max_request_rounds: 10,
+            assign_ack_timeout: SimDuration::from_millis(200),
+            assign_max_retries: 6,
+        };
+        let tuned = c.with_timing(fast);
+        assert_eq!(tuned.timing(), fast);
+        assert_eq!(tuned.with_timing(ProtocolTiming::default()), c);
     }
 
     #[test]

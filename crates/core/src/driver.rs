@@ -1,0 +1,1297 @@
+//! The sans-io per-node protocol driver.
+//!
+//! [`NodeDriver`] is one grid node's complete ARiA state machine with
+//! every I/O concern factored out: inputs are decoded wire messages,
+//! timer fires and local job submissions; outputs are send-this-message,
+//! start-this-timer and probe-record effects. The driver never touches a
+//! socket, a clock or a wall-time source — the caller owns all of them:
+//!
+//! * the **live runtime** (`aria-node`) feeds it UDP datagrams decoded by
+//!   `aria-codec` and timer fires from a monotonic-clock timer wheel,
+//!   and executes `Send` outputs on a real socket;
+//! * **tests** drive whole in-memory clusters of drivers through a
+//!   deterministic message/timer queue (see the module tests), which is
+//!   how sim-vs-live equivalence is pinned.
+//!
+//! ## Relation to the simulator
+//!
+//! The simulator's [`crate::World`] is *not* N drivers in a trench coat:
+//! for speed it interns job specs in a global table, dedups floods in
+//! world-wide visited sets and draws all randomness from one event-order
+//! stream, none of which exists on a real network. What the two share is
+//! the layer where protocol behaviour is decided: every admission,
+//! comparison, retry and backoff decision in this file is a call into
+//! [`crate::logic`], the same kernels the `World` handlers call. The
+//! golden determinism/probe tests pin the simulator bit-for-bit, the
+//! kernel unit tests pin the decisions, and the cluster tests below pin
+//! that a network of drivers reaches the same outcomes (min-cost
+//! winners, exactly-once completion) the simulator reaches.
+//!
+//! ## Live-specific behaviour
+//!
+//! Real transports are lossy, so the driver permanently runs what the
+//! simulator only arms under an active [`crate::FaultPlan`]: ASSIGNs are
+//! ACKed, unacknowledged ASSIGNs retransmit on the shared bounded
+//! backoff schedule ([`crate::logic::assign_backoff`]), exhausted
+//! retransmits fall back to the next-best recorded offer and then to the
+//! §III-D failsafe. Flood dedup uses a per-node seen set plus a
+//! visited list carried in the message (selective flooding, the paper's
+//! reference \[28\]) instead of the simulator's global visited table.
+
+use crate::config::AriaConfig;
+use crate::logic;
+use aria_grid::{Cost, JobId, JobSpec, NodeProfile, Policy, SchedulerQueue};
+use aria_overlay::NodeId;
+use aria_probe::{FloodKind, MsgKind, ProbeEvent};
+use aria_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Globally unique flood identifier on the live network: the origin node
+/// plus a per-origin sequence number. (The simulator's dense
+/// [`crate::FloodId`] table indexes recycled slots; live floods from
+/// different nodes must never collide, so the id carries its origin.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FloodUid {
+    /// The node that seeded the flood.
+    pub origin: NodeId,
+    /// The origin's flood counter at seeding time.
+    pub seq: u32,
+}
+
+/// A self-contained ARiA wire message (Table I plus membership and
+/// harness control frames).
+///
+/// Unlike the simulator's interned [`crate::Message`], live messages
+/// carry the full [`JobSpec`] where the paper's wire format carries the
+/// job profile — there is no global job table to look payloads up in.
+/// `visited` implements selective flooding: the nodes a flood already
+/// traversed, so forwarding avoids them (bounded by
+/// [`NodeDriver::MAX_VISITED`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LiveMsg {
+    /// REQUEST — flooded job advertisement (§III-B).
+    Request {
+        /// The job's initiator (offers and the final report go here).
+        initiator: NodeId,
+        /// The advertised job, full profile included.
+        spec: JobSpec,
+        /// Remaining hop budget.
+        hops_left: u32,
+        /// Flood this copy belongs to.
+        flood: FloodUid,
+        /// Nodes the flood already traversed (selective flooding).
+        visited: Vec<NodeId>,
+    },
+    /// ACCEPT — cost offer to an initiator (REQUEST) or holder (INFORM).
+    Accept {
+        /// The offering node.
+        from: NodeId,
+        /// The job being bid on.
+        job: JobId,
+        /// The offered cost (lower is better).
+        cost: Cost,
+    },
+    /// INFORM — flooded rescheduling advertisement (§III-D).
+    Inform {
+        /// The node currently holding the job.
+        assignee: NodeId,
+        /// The advertised job, full profile included.
+        spec: JobSpec,
+        /// The holder's current cost.
+        cost: Cost,
+        /// Remaining hop budget.
+        hops_left: u32,
+        /// Flood this copy belongs to.
+        flood: FloodUid,
+        /// Nodes the flood already traversed.
+        visited: Vec<NodeId>,
+    },
+    /// ASSIGN — delegates a job to a node (may not decline, §III-A).
+    Assign {
+        /// The job's initiator, for failsafe tracking.
+        initiator: NodeId,
+        /// The delegated job, full profile included.
+        spec: JobSpec,
+    },
+    /// ACK — assignee's delivery acknowledgement for an ASSIGN.
+    Ack {
+        /// The acknowledging assignee.
+        from: NodeId,
+        /// The job whose ASSIGN landed.
+        job: JobId,
+    },
+    /// A node announcing itself to the overlay (static-bootstrap hello).
+    Join {
+        /// The joining node.
+        node: NodeId,
+    },
+    /// A node announcing departure.
+    Leave {
+        /// The departing node.
+        node: NodeId,
+    },
+    /// Harness → node: submit a job at this node (it becomes initiator).
+    Submit {
+        /// The submitted job.
+        spec: JobSpec,
+    },
+    /// Node → harness: a job finished executing here.
+    Done {
+        /// The completed job.
+        job: JobId,
+        /// The executing node.
+        node: NodeId,
+    },
+    /// Harness → node: flush telemetry and exit the event loop.
+    Shutdown,
+}
+
+impl LiveMsg {
+    /// The probe-schema kind tag of a protocol message (control frames
+    /// report as the closest small-message class, [`MsgKind::Ack`]).
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            LiveMsg::Request { .. } => MsgKind::Request,
+            LiveMsg::Accept { .. } => MsgKind::Accept,
+            LiveMsg::Inform { .. } => MsgKind::Inform,
+            LiveMsg::Assign { .. } => MsgKind::Assign,
+            LiveMsg::Ack { .. }
+            | LiveMsg::Join { .. }
+            | LiveMsg::Leave { .. }
+            | LiveMsg::Submit { .. }
+            | LiveMsg::Done { .. }
+            | LiveMsg::Shutdown => MsgKind::Ack,
+        }
+    }
+
+    /// Whether this is a protocol message (subject to simulated loss at
+    /// the codec boundary) rather than a harness control frame.
+    pub fn is_protocol(&self) -> bool {
+        matches!(
+            self,
+            LiveMsg::Request { .. }
+                | LiveMsg::Accept { .. }
+                | LiveMsg::Inform { .. }
+                | LiveMsg::Assign { .. }
+                | LiveMsg::Ack { .. }
+        )
+    }
+}
+
+/// A timer the driver asked its runtime to start. The runtime owes the
+/// driver exactly one [`Input::Timer`] fire per request; cancellation is
+/// the driver's problem (stale fires are recognized and ignored, the
+/// same way the simulator treats stale events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Timer {
+    /// The initiator's ACCEPT collection window closed.
+    AcceptWindow {
+        /// The advertised job.
+        job: JobId,
+    },
+    /// Re-flood a REQUEST that received no offers.
+    RetryRequest {
+        /// The unplaced job.
+        job: JobId,
+        /// The upcoming round number.
+        round: u32,
+    },
+    /// An ASSIGN's ACK did not arrive in time.
+    AssignTimeout {
+        /// The delegated job.
+        job: JobId,
+        /// Epoch guard: a newer delegation invalidates older timers.
+        epoch: u32,
+    },
+    /// The locally running job finished.
+    ExecutionComplete {
+        /// The running job.
+        job: JobId,
+    },
+    /// Re-check the local dispatch queue (reservation windows).
+    DispatchRetry,
+    /// Periodic INFORM advertisement tick (§III-D).
+    InformTick,
+    /// Failsafe: re-discover a job whose delegation evaporated.
+    Recover {
+        /// The possibly-lost job.
+        job: JobId,
+    },
+}
+
+/// One input to the driver: a decoded message, a timer fire or a local
+/// job submission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Input {
+    /// A wire message arrived from `from`.
+    Msg {
+        /// The sending node.
+        from: NodeId,
+        /// The decoded message.
+        msg: LiveMsg,
+    },
+    /// A previously requested timer fired.
+    Timer(Timer),
+    /// A job was submitted at this node (it becomes the initiator).
+    Submit(JobSpec),
+}
+
+/// One effect the runtime must execute for the driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Output {
+    /// Transmit `msg` to `to`.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message to encode and transmit.
+        msg: LiveMsg,
+    },
+    /// Start a timer firing `after` from now.
+    StartTimer {
+        /// Relative delay.
+        after: SimDuration,
+        /// The timer to deliver back via [`Input::Timer`].
+        timer: Timer,
+    },
+    /// Record a telemetry event (the existing probe schema).
+    Probe(ProbeEvent),
+    /// A job finished executing on this node (harness notification).
+    Completed {
+        /// The finished job.
+        job: JobId,
+    },
+    /// A job was abandoned after exhausting its discovery retry budget.
+    Abandoned {
+        /// The abandoned job.
+        job: JobId,
+    },
+    /// A job is lost for good (failsafe disabled or initiator gone).
+    Lost {
+        /// The lost job.
+        job: JobId,
+    },
+}
+
+/// Driver-level configuration: the shared protocol parameters plus the
+/// failsafe knobs the simulator keeps on [`crate::WorldConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriverConfig {
+    /// Protocol parameters (§IV-E); the timing slice
+    /// ([`AriaConfig::timing`]) is shared verbatim with the node
+    /// runtime's config file.
+    pub aria: AriaConfig,
+    /// Whether the §III-D failsafe re-discovers evaporated delegations.
+    pub failsafe: bool,
+    /// How long until a delegation is presumed evaporated.
+    pub failsafe_detection: SimDuration,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            aria: AriaConfig::default(),
+            failsafe: true,
+            failsafe_detection: SimDuration::from_mins(5),
+        }
+    }
+}
+
+/// An initiator's open offer-collection window.
+#[derive(Debug, Clone)]
+struct PendingRound {
+    round: u32,
+    best: Option<(Cost, NodeId)>,
+}
+
+/// An in-flight (unacknowledged) ASSIGN delegation.
+#[derive(Debug, Clone, Copy)]
+struct ArmedAssign {
+    to: NodeId,
+    attempt: u32,
+    epoch: u32,
+    reschedule: bool,
+}
+
+/// One grid node's complete sans-io protocol state machine.
+pub struct NodeDriver {
+    id: NodeId,
+    profile: NodeProfile,
+    queue: SchedulerQueue,
+    cfg: DriverConfig,
+    rng: SimRng,
+    /// All known overlay members (flood seeding picks random subsets).
+    peers: Vec<NodeId>,
+    /// Direct overlay neighbors (flood forwarding targets).
+    neighbors: Vec<NodeId>,
+    /// Flood dedup: floods this node already processed, FIFO-bounded.
+    seen: BTreeSet<FloodUid>,
+    seen_order: VecDeque<FloodUid>,
+    flood_seq: u32,
+    /// Specs of jobs this node initiated or holds (the live substitute
+    /// for the simulator's interned job table).
+    specs: BTreeMap<JobId, JobSpec>,
+    /// Initiator of each job this node learned about via ASSIGN.
+    initiator_of: BTreeMap<JobId, NodeId>,
+    /// Open offer windows for jobs this node is initiating.
+    pending: BTreeMap<JobId, PendingRound>,
+    /// Every offer recorded while a job's discovery/steal is in flight
+    /// (retransmit-exhaustion fallback pops the next best from here).
+    offers: BTreeMap<JobId, Vec<(Cost, NodeId)>>,
+    /// Armed ASSIGN retransmit state per delegated job.
+    armed: BTreeMap<JobId, ArmedAssign>,
+    assign_epoch: u32,
+    /// Jobs that finished executing here (idempotent-ASSIGN suppression).
+    completed: BTreeSet<JobId>,
+}
+
+impl NodeDriver {
+    /// Flood dedup memory: floods remembered per node before the oldest
+    /// entries are forgotten.
+    pub const MAX_SEEN: usize = 8192;
+    /// Upper bound on the visited list carried by a flood message (the
+    /// per-node seen sets still dedup anything the list no longer
+    /// covers).
+    pub const MAX_VISITED: usize = 256;
+
+    /// Builds a driver for node `id`. `peers` is the full known overlay
+    /// membership (used to seed REQUEST floods at random members, like
+    /// the simulator's §III-B "random subset of nodes of the overlay"),
+    /// `neighbors` the direct overlay links floods forward along.
+    pub fn new(
+        id: NodeId,
+        profile: NodeProfile,
+        policy: Policy,
+        cfg: DriverConfig,
+        seed: u64,
+        peers: Vec<NodeId>,
+        neighbors: Vec<NodeId>,
+    ) -> Self {
+        NodeDriver {
+            id,
+            profile,
+            queue: SchedulerQueue::new(policy),
+            cfg,
+            rng: SimRng::seed_from(seed),
+            peers,
+            neighbors,
+            seen: BTreeSet::new(),
+            seen_order: VecDeque::new(),
+            flood_seq: 0,
+            specs: BTreeMap::new(),
+            initiator_of: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            offers: BTreeMap::new(),
+            armed: BTreeMap::new(),
+            assign_epoch: 0,
+            completed: BTreeSet::new(),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Jobs completed on this node so far.
+    pub fn completed_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.completed.iter().copied()
+    }
+
+    /// Initial outputs before any input arrives: the periodic INFORM
+    /// tick when dynamic rescheduling is enabled.
+    pub fn start(&mut self) -> Vec<Output> {
+        let mut out = Vec::new();
+        if self.cfg.aria.rescheduling {
+            out.push(Output::StartTimer {
+                after: self.cfg.aria.inform_period,
+                timer: Timer::InformTick,
+            });
+        }
+        out
+    }
+
+    /// Advances the state machine by one input and returns the effects
+    /// the runtime must execute. `now` is the runtime's monotonic clock
+    /// mapped to [`SimTime`] (live) or the simulated clock (tests).
+    pub fn handle(&mut self, now: SimTime, input: Input) -> Vec<Output> {
+        let mut out = Vec::new();
+        match input {
+            Input::Submit(spec) => self.submit(now, spec, &mut out),
+            Input::Timer(timer) => self.timer(now, timer, &mut out),
+            Input::Msg { from, msg } => self.message(now, from, msg, &mut out),
+        }
+        out
+    }
+
+    // --- submission & REQUEST phase (§III-B) -----------------------------
+
+    fn submit(&mut self, now: SimTime, spec: JobSpec, out: &mut Vec<Output>) {
+        let job = spec.id;
+        self.specs.insert(job, spec);
+        self.initiator_of.insert(job, self.id);
+        out.push(Output::Probe(ProbeEvent::JobSubmitted { job, initiator: self.id }));
+        self.start_round(now, job, 0, out);
+    }
+
+    fn start_round(&mut self, now: SimTime, job: JobId, round: u32, out: &mut Vec<Output>) {
+        // A fresh discovery supersedes leftovers: recorded offers are
+        // stale and any armed retransmit is obsolete (its pending
+        // timeout goes stale through the disarm).
+        self.offers.insert(job, Vec::new());
+        self.armed.remove(&job);
+        let spec = self.specs[&job];
+        let own_bid = if logic::can_bid(&self.profile, self.queue.policy(), &spec) {
+            Some((self.queue.cost_of_candidate(&spec, now, &self.profile), self.id))
+        } else {
+            None
+        };
+        self.pending.insert(job, PendingRound { round, best: own_bid });
+
+        let flood = self.next_flood();
+        let mut candidates: Vec<NodeId> =
+            self.peers.iter().copied().filter(|&n| n != self.id).collect();
+        self.rng.sample_in_place(&mut candidates, self.cfg.aria.request_fanout);
+        let seeds = candidates;
+        for &seed in &seeds {
+            out.push(Output::Send {
+                to: seed,
+                msg: LiveMsg::Request {
+                    initiator: self.id,
+                    spec,
+                    hops_left: self.cfg.aria.request_hops,
+                    flood,
+                    visited: vec![self.id],
+                },
+            });
+        }
+        out.push(Output::Probe(ProbeEvent::RequestRound {
+            job,
+            initiator: self.id,
+            round,
+            flood: flood.seq,
+            seeds: seeds.len() as u32,
+        }));
+        out.push(Output::StartTimer {
+            after: self.cfg.aria.accept_window,
+            timer: Timer::AcceptWindow { job },
+        });
+    }
+
+    // --- timers ----------------------------------------------------------
+
+    fn timer(&mut self, now: SimTime, timer: Timer, out: &mut Vec<Output>) {
+        match timer {
+            Timer::AcceptWindow { job } => self.close_window(now, job, out),
+            Timer::RetryRequest { job, round } => {
+                if !self.completed.contains(&job) && !self.pending.contains_key(&job) {
+                    self.start_round(now, job, round, out);
+                }
+            }
+            Timer::AssignTimeout { job, epoch } => self.assign_timeout(now, job, epoch, out),
+            Timer::ExecutionComplete { job } => self.complete_execution(now, job, out),
+            Timer::DispatchRetry => self.try_start(now, out),
+            Timer::InformTick => self.inform_tick(now, out),
+            Timer::Recover { job } => self.recover(now, job, out),
+        }
+    }
+
+    fn close_window(&mut self, now: SimTime, job: JobId, out: &mut Vec<Output>) {
+        let Some(pending) = self.pending.remove(&job) else {
+            return;
+        };
+        match pending.best {
+            Some((_cost, winner)) => {
+                out.push(Output::Probe(ProbeEvent::Assigned {
+                    job,
+                    by: self.id,
+                    to: winner,
+                    reschedule: false,
+                }));
+                if winner == self.id {
+                    self.enqueue_job(now, job, out);
+                } else {
+                    let spec = self.specs[&job];
+                    self.arm_assign(job, winner, false, out);
+                    out.push(Output::Send {
+                        to: winner,
+                        msg: LiveMsg::Assign { initiator: self.id, spec },
+                    });
+                }
+            }
+            None => match logic::next_round(pending.round, self.cfg.aria.max_request_rounds) {
+                Some(round) => {
+                    out.push(Output::Probe(ProbeEvent::RetryScheduled {
+                        job,
+                        initiator: self.id,
+                        round,
+                    }));
+                    out.push(Output::StartTimer {
+                        after: self.cfg.aria.request_retry,
+                        timer: Timer::RetryRequest { job, round },
+                    });
+                }
+                None => {
+                    out.push(Output::Probe(ProbeEvent::JobAbandoned { job, initiator: self.id }));
+                    out.push(Output::Abandoned { job });
+                }
+            },
+        }
+    }
+
+    fn assign_timeout(&mut self, now: SimTime, job: JobId, epoch: u32, out: &mut Vec<Output>) {
+        let Some(a) = self.armed.get(&job).copied() else {
+            return; // ACKed, superseded, or recovered — stand down
+        };
+        if a.epoch != epoch {
+            return; // a newer delegation owns the timer now
+        }
+        if self.completed.contains(&job) || self.holds(job) {
+            self.armed.remove(&job);
+            return;
+        }
+        if logic::may_retransmit(a.attempt, self.cfg.aria.assign_max_retries) {
+            let attempt = a.attempt + 1;
+            self.armed.insert(job, ArmedAssign { attempt, ..a });
+            out.push(Output::Probe(ProbeEvent::AssignRetransmit { job, to: a.to, attempt }));
+            let initiator = self.initiator_of.get(&job).copied().unwrap_or(self.id);
+            let spec = self.specs[&job];
+            out.push(Output::Send { to: a.to, msg: LiveMsg::Assign { initiator, spec } });
+            out.push(Output::StartTimer {
+                after: logic::assign_backoff(self.cfg.aria.assign_ack_timeout, attempt),
+                timer: Timer::AssignTimeout { job, epoch },
+            });
+            return;
+        }
+        // Retries exhausted: this delegation is abandoned.
+        self.armed.remove(&job);
+        let mut fallback = None;
+        if let Some(offers) = self.offers.get_mut(&job) {
+            while let Some((cost, next)) = logic::pop_best_offer(offers) {
+                if next != a.to {
+                    fallback = Some((cost, next));
+                    break;
+                }
+            }
+        }
+        if let Some((_cost, next)) = fallback {
+            out.push(Output::Probe(ProbeEvent::Assigned {
+                job,
+                by: self.id,
+                to: next,
+                reschedule: a.reschedule,
+            }));
+            if next == self.id {
+                self.enqueue_job(now, job, out);
+            } else {
+                let initiator = self.initiator_of.get(&job).copied().unwrap_or(self.id);
+                let spec = self.specs[&job];
+                self.arm_assign(job, next, a.reschedule, out);
+                out.push(Output::Send { to: next, msg: LiveMsg::Assign { initiator, spec } });
+            }
+            return;
+        }
+        // No viable offer left: the failsafe is the last resort.
+        if self.cfg.failsafe {
+            out.push(Output::StartTimer {
+                after: self.cfg.failsafe_detection,
+                timer: Timer::Recover { job },
+            });
+        } else {
+            out.push(Output::Probe(ProbeEvent::JobLost { job }));
+            out.push(Output::Lost { job });
+        }
+    }
+
+    fn recover(&mut self, now: SimTime, job: JobId, out: &mut Vec<Output>) {
+        if self.completed.contains(&job) || self.holds(job) || self.pending.contains_key(&job) {
+            return; // demonstrably fine, or discovery already underway
+        }
+        match self.initiator_of.get(&job) {
+            Some(&initiator) if initiator == self.id => {
+                out.push(Output::Probe(ProbeEvent::RecoveryStarted { job, initiator }));
+                self.start_round(now, job, 0, out);
+            }
+            _ => {
+                out.push(Output::Probe(ProbeEvent::JobLost { job }));
+                out.push(Output::Lost { job });
+            }
+        }
+    }
+
+    fn inform_tick(&mut self, now: SimTime, out: &mut Vec<Output>) {
+        if !self.cfg.aria.rescheduling {
+            return;
+        }
+        let candidates = self.queue.inform_candidates(now, self.cfg.aria.inform_batch);
+        for job in candidates {
+            let Some(spec) = self.specs.get(&job).copied() else {
+                continue;
+            };
+            let cost =
+                self.queue.cost_of_waiting(job, now).expect("inform candidate has a cost");
+            let flood = self.next_flood();
+            out.push(Output::Probe(ProbeEvent::InformRound {
+                job,
+                node: self.id,
+                flood: flood.seq,
+                cost_ms: cost.as_millis(),
+            }));
+            let msg = LiveMsg::Inform {
+                assignee: self.id,
+                spec,
+                cost,
+                hops_left: self.cfg.aria.inform_hops,
+                flood,
+                visited: vec![self.id],
+            };
+            self.forward(msg, self.cfg.aria.inform_fanout, &[self.id], out);
+        }
+        out.push(Output::StartTimer {
+            after: self.cfg.aria.inform_period,
+            timer: Timer::InformTick,
+        });
+    }
+
+    // --- message handling ------------------------------------------------
+
+    fn message(&mut self, now: SimTime, from: NodeId, msg: LiveMsg, out: &mut Vec<Output>) {
+        match msg {
+            LiveMsg::Request { initiator, spec, hops_left, flood, visited } => {
+                let fresh = self.record_flood(flood);
+                out.push(Output::Probe(ProbeEvent::FloodHop {
+                    kind: FloodKind::Request,
+                    job: spec.id,
+                    flood: flood.seq,
+                    node: self.id,
+                    hops_left,
+                    duplicate: !fresh,
+                }));
+                if !fresh {
+                    return;
+                }
+                let bids = logic::can_bid(&self.profile, self.queue.policy(), &spec);
+                if bids {
+                    let cost = self.queue.cost_of_candidate(&spec, now, &self.profile);
+                    out.push(Output::Probe(ProbeEvent::BidSent {
+                        kind: FloodKind::Request,
+                        job: spec.id,
+                        from: self.id,
+                        to: initiator,
+                        cost_ms: cost.as_millis(),
+                    }));
+                    out.push(Output::Send {
+                        to: initiator,
+                        msg: LiveMsg::Accept { from: self.id, job: spec.id, cost },
+                    });
+                }
+                if logic::should_forward(bids, self.cfg.aria.forward_on_match, hops_left) {
+                    let forwarded = LiveMsg::Request {
+                        initiator,
+                        spec,
+                        hops_left: hops_left - 1,
+                        flood,
+                        visited: Vec::new(), // filled by forward()
+                    };
+                    self.forward(forwarded, self.cfg.aria.request_fanout, &visited, out);
+                }
+            }
+            LiveMsg::Inform { assignee, spec, cost, hops_left, flood, visited } => {
+                let fresh = self.record_flood(flood);
+                out.push(Output::Probe(ProbeEvent::FloodHop {
+                    kind: FloodKind::Inform,
+                    job: spec.id,
+                    flood: flood.seq,
+                    node: self.id,
+                    hops_left,
+                    duplicate: !fresh,
+                }));
+                if !fresh {
+                    return;
+                }
+                let bids = logic::can_bid(&self.profile, self.queue.policy(), &spec);
+                if bids {
+                    let my_cost = self.queue.cost_of_candidate(&spec, now, &self.profile);
+                    if logic::undercuts(my_cost, cost, self.cfg.aria.reschedule_threshold) {
+                        out.push(Output::Probe(ProbeEvent::BidSent {
+                            kind: FloodKind::Inform,
+                            job: spec.id,
+                            from: self.id,
+                            to: assignee,
+                            cost_ms: my_cost.as_millis(),
+                        }));
+                        out.push(Output::Send {
+                            to: assignee,
+                            msg: LiveMsg::Accept { from: self.id, job: spec.id, cost: my_cost },
+                        });
+                    }
+                }
+                if logic::should_forward(bids, self.cfg.aria.forward_on_match, hops_left) {
+                    let forwarded = LiveMsg::Inform {
+                        assignee,
+                        spec,
+                        cost,
+                        hops_left: hops_left - 1,
+                        flood,
+                        visited: Vec::new(),
+                    };
+                    self.forward(forwarded, self.cfg.aria.inform_fanout, &visited, out);
+                }
+            }
+            LiveMsg::Accept { from, job, cost } => self.accept(now, from, job, cost, out),
+            LiveMsg::Assign { initiator, spec } => self.assigned(now, from, initiator, spec, out),
+            LiveMsg::Ack { from, job } => {
+                if let Some(a) = self.armed.get(&job) {
+                    if a.to == from {
+                        self.armed.remove(&job);
+                        out.push(Output::Probe(ProbeEvent::AckReceived { job, from }));
+                    }
+                }
+            }
+            LiveMsg::Join { node } => {
+                if node != self.id && !self.peers.contains(&node) {
+                    self.peers.push(node);
+                    out.push(Output::Probe(ProbeEvent::NodeJoined { node }));
+                }
+            }
+            LiveMsg::Leave { node } => {
+                self.peers.retain(|&n| n != node);
+                self.neighbors.retain(|&n| n != node);
+            }
+            LiveMsg::Submit { spec } => self.submit(now, spec, out),
+            // Done reports and Shutdown are harness control frames; the
+            // runtime intercepts them before the driver.
+            LiveMsg::Done { .. } | LiveMsg::Shutdown => {}
+        }
+    }
+
+    fn accept(&mut self, now: SimTime, from: NodeId, job: JobId, cost: Cost, out: &mut Vec<Output>) {
+        // Offer for a job this node initiated and is still collecting?
+        if let Some(pending) = self.pending.get_mut(&job) {
+            let better = logic::better_offer(pending.best, cost);
+            if better {
+                pending.best = Some((cost, from));
+            }
+            // Remember every offer: the retransmit-exhaustion fallback
+            // pops the next best (always on, live transports are lossy).
+            self.offers.entry(job).or_default().push((cost, from));
+            out.push(Output::Probe(ProbeEvent::OfferReceived {
+                job,
+                initiator: self.id,
+                from,
+                cost_ms: cost.as_millis(),
+                best: better,
+            }));
+            return;
+        }
+        // Otherwise: a rescheduling offer for a job this node holds.
+        if !self.cfg.aria.rescheduling {
+            return;
+        }
+        let Some(current) = self.queue.cost_of_waiting(job, now) else {
+            return; // already moved, started, or never here: stale offer
+        };
+        if !logic::undercuts(cost, current, self.cfg.aria.reschedule_threshold) {
+            return; // conditions changed; the move no longer pays off
+        }
+        self.queue.remove_waiting(job).expect("cost_of_waiting implies waiting");
+        let initiator = self.initiator_of.get(&job).copied().unwrap_or(self.id);
+        let spec = self.specs[&job];
+        out.push(Output::Probe(ProbeEvent::Assigned {
+            job,
+            by: self.id,
+            to: from,
+            reschedule: true,
+        }));
+        self.offers.insert(job, Vec::new());
+        self.arm_assign(job, from, true, out);
+        out.push(Output::Send { to: from, msg: LiveMsg::Assign { initiator, spec } });
+    }
+
+    /// Delivers an ASSIGN idempotently and always ACKs: a duplicate (the
+    /// job is already queued, running or completed here, or this node
+    /// reopened discovery for it) is suppressed instead of
+    /// double-enqueued, and the re-ACK stands the assigner's retransmit
+    /// timer down even when the original ACK was lost.
+    fn assigned(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        initiator: NodeId,
+        spec: JobSpec,
+        out: &mut Vec<Output>,
+    ) {
+        let job = spec.id;
+        self.specs.insert(job, spec);
+        self.initiator_of.insert(job, initiator);
+        if self.completed.contains(&job) || self.pending.contains_key(&job) || self.holds(job) {
+            out.push(Output::Probe(ProbeEvent::DuplicateSuppressed {
+                kind: MsgKind::Assign,
+                job,
+                node: self.id,
+            }));
+            out.push(Output::Send { to: from, msg: LiveMsg::Ack { from: self.id, job } });
+            return;
+        }
+        self.enqueue_job(now, job, out);
+        out.push(Output::Send { to: from, msg: LiveMsg::Ack { from: self.id, job } });
+    }
+
+    // --- local execution -------------------------------------------------
+
+    fn enqueue_job(&mut self, now: SimTime, job: JobId, out: &mut Vec<Output>) {
+        let spec = self.specs[&job];
+        self.queue.enqueue(spec, now, &self.profile);
+        out.push(Output::Probe(ProbeEvent::Enqueued {
+            job,
+            node: self.id,
+            depth: self.queue.waiting_len() as u32,
+        }));
+        self.try_start(now, out);
+    }
+
+    fn try_start(&mut self, now: SimTime, out: &mut Vec<Output>) {
+        let Some(running) = self.queue.start_next(now) else {
+            if let Some(at) = self.queue.next_dispatch_at(now) {
+                out.push(Output::StartTimer {
+                    after: at.saturating_since(now),
+                    timer: Timer::DispatchRetry,
+                });
+            }
+            return;
+        };
+        let job = running.spec.id;
+        // Live nodes "execute" for the profile-scaled expected running
+        // time: there is no ART error model on a real node — the actual
+        // time is whatever the execution takes.
+        let runtime = running.expected_end.saturating_since(running.started_at);
+        out.push(Output::Probe(ProbeEvent::Started { job, node: self.id }));
+        out.push(Output::StartTimer { after: runtime, timer: Timer::ExecutionComplete { job } });
+    }
+
+    fn complete_execution(&mut self, now: SimTime, job: JobId, out: &mut Vec<Output>) {
+        let finished = self.queue.complete_running().expect("completion timer for running job");
+        debug_assert_eq!(finished.spec.id, job, "completion timer job mismatch");
+        self.completed.insert(job);
+        self.offers.remove(&job);
+        out.push(Output::Probe(ProbeEvent::Completed { job, node: self.id }));
+        out.push(Output::Completed { job });
+        self.try_start(now, out);
+    }
+
+    // --- flood plumbing --------------------------------------------------
+
+    fn next_flood(&mut self) -> FloodUid {
+        let flood = FloodUid { origin: self.id, seq: self.flood_seq };
+        self.flood_seq = self.flood_seq.wrapping_add(1);
+        self.record_flood(flood);
+        flood
+    }
+
+    /// Marks a flood as seen; returns `true` when it was fresh.
+    fn record_flood(&mut self, flood: FloodUid) -> bool {
+        if !self.seen.insert(flood) {
+            return false;
+        }
+        self.seen_order.push_back(flood);
+        if self.seen_order.len() > Self::MAX_SEEN {
+            if let Some(evicted) = self.seen_order.pop_front() {
+                self.seen.remove(&evicted);
+            }
+        }
+        true
+    }
+
+    /// Forwards a flood message to up to `fanout` random neighbors not
+    /// yet visited (selective flooding, \[28\]). `visited` is the list
+    /// carried by the incoming copy; the outgoing copies carry it
+    /// extended with this node, bounded by [`Self::MAX_VISITED`].
+    fn forward(
+        &mut self,
+        msg: LiveMsg,
+        fanout: usize,
+        visited: &[NodeId],
+        out: &mut Vec<Output>,
+    ) {
+        let mut candidates: Vec<NodeId> = self
+            .neighbors
+            .iter()
+            .copied()
+            .filter(|n| *n != self.id && !visited.contains(n))
+            .collect();
+        self.rng.sample_in_place(&mut candidates, fanout);
+        if candidates.is_empty() {
+            return;
+        }
+        let mut next_visited = visited.to_vec();
+        if next_visited.len() < Self::MAX_VISITED {
+            next_visited.push(self.id);
+        }
+        for &target in &candidates {
+            let copy = match &msg {
+                LiveMsg::Request { initiator, spec, hops_left, flood, .. } => LiveMsg::Request {
+                    initiator: *initiator,
+                    spec: *spec,
+                    hops_left: *hops_left,
+                    flood: *flood,
+                    visited: next_visited.clone(),
+                },
+                LiveMsg::Inform { assignee, spec, cost, hops_left, flood, .. } => LiveMsg::Inform {
+                    assignee: *assignee,
+                    spec: *spec,
+                    cost: *cost,
+                    hops_left: *hops_left,
+                    flood: *flood,
+                    visited: next_visited.clone(),
+                },
+                _ => unreachable!("only REQUEST/INFORM flood"),
+            };
+            out.push(Output::Send { to: target, msg: copy });
+        }
+    }
+
+    /// Arms the ACK/retransmit machinery for an ASSIGN about to be sent.
+    fn arm_assign(&mut self, job: JobId, to: NodeId, reschedule: bool, out: &mut Vec<Output>) {
+        self.assign_epoch = self.assign_epoch.wrapping_add(1);
+        let epoch = self.assign_epoch;
+        self.armed.insert(job, ArmedAssign { to, attempt: 0, epoch, reschedule });
+        out.push(Output::StartTimer {
+            after: self.cfg.aria.assign_ack_timeout,
+            timer: Timer::AssignTimeout { job, epoch },
+        });
+    }
+
+    /// Whether this node currently holds the job (waiting or running).
+    fn holds(&self, job: JobId) -> bool {
+        self.queue.is_waiting(job)
+            || self.queue.running().is_some_and(|r| r.spec.id == job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aria_grid::{Architecture, JobRequirements, OperatingSystem, PerfIndex};
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    /// A queued cluster event, min-ordered by (time, sequence).
+    struct Ev {
+        at: SimTime,
+        seq: u64,
+        node: usize,
+        input: Input,
+    }
+
+    impl PartialEq for Ev {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+    impl Eq for Ev {}
+    impl PartialOrd for Ev {
+        // det:allow(float-ord): delegates to Ord over (SimTime, u64) integer keys
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Ev {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reversed: BinaryHeap is a max-heap, we pop earliest first.
+            (other.at, other.seq).cmp(&(self.at, self.seq))
+        }
+    }
+
+    fn profile(perf: f64) -> NodeProfile {
+        NodeProfile::new(
+            Architecture::Amd64,
+            OperatingSystem::Linux,
+            64,
+            1000,
+            PerfIndex::new(perf).unwrap(),
+        )
+    }
+
+    fn spec(id: u64, mins: u64) -> JobSpec {
+        JobSpec::batch(
+            JobId::new(id),
+            JobRequirements {
+                arch: Architecture::Amd64,
+                os: OperatingSystem::Linux,
+                min_memory_gb: 1,
+                min_disk_gb: 1,
+            },
+            SimDuration::from_mins(mins),
+        )
+    }
+
+    /// A deterministic in-memory cluster: N drivers, one global
+    /// time-ordered queue carrying messages (fixed link latency) and
+    /// timers. This is exactly the live runtime's event loop with the
+    /// socket and clock replaced by the queue — the harness the
+    /// loopback test then runs over real UDP.
+    struct Cluster {
+        drivers: Vec<NodeDriver>,
+        queue: BinaryHeap<Ev>,
+        seq: u64,
+        now: SimTime,
+        completed: Vec<(JobId, NodeId)>,
+        lost: Vec<JobId>,
+        abandoned: Vec<JobId>,
+        assigned: Vec<(JobId, NodeId, bool)>,
+        retransmits: u32,
+        /// Drop the first ASSIGN copy addressed to each entry.
+        drop_first_assign_to: Vec<NodeId>,
+    }
+
+    impl Cluster {
+        const LATENCY: SimDuration = SimDuration::from_millis(5);
+
+        fn new(n: u32, cfg: DriverConfig) -> Self {
+            let peers: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+            let drivers = (0..n)
+                .map(|i| {
+                    // Ring + full peer list: every node forwards along a
+                    // couple of neighbors, floods seed anywhere.
+                    let neighbors = vec![
+                        NodeId::new((i + 1) % n),
+                        NodeId::new((i + n - 1) % n),
+                        NodeId::new((i + 2) % n),
+                    ];
+                    NodeDriver::new(
+                        NodeId::new(i),
+                        profile(1.0 + f64::from(i % 2) * 0.5),
+                        Policy::Fcfs,
+                        cfg,
+                        1000 + u64::from(i),
+                        peers.clone(),
+                        neighbors,
+                    )
+                })
+                .collect();
+            Cluster {
+                drivers,
+                queue: BinaryHeap::new(),
+                seq: 0,
+                now: SimTime::ZERO,
+                completed: Vec::new(),
+                lost: Vec::new(),
+                abandoned: Vec::new(),
+                assigned: Vec::new(),
+                retransmits: 0,
+                drop_first_assign_to: Vec::new(),
+            }
+        }
+
+        fn push(&mut self, at: SimTime, node: usize, input: Input) {
+            self.queue.push(Ev { at, seq: self.seq, node, input });
+            self.seq += 1;
+        }
+
+        fn submit(&mut self, at: SimTime, node: u32, spec: JobSpec) {
+            self.push(at, node as usize, Input::Submit(spec));
+        }
+
+        fn start(&mut self) {
+            for i in 0..self.drivers.len() {
+                let outputs = self.drivers[i].start();
+                self.apply(i, outputs);
+            }
+        }
+
+        fn apply(&mut self, node: usize, outputs: Vec<Output>) {
+            let now = self.now;
+            for output in outputs {
+                match output {
+                    Output::Send { to, msg } => {
+                        if matches!(msg, LiveMsg::Assign { .. }) {
+                            if let Some(slot) =
+                                self.drop_first_assign_to.iter().position(|&n| n == to)
+                            {
+                                self.drop_first_assign_to.remove(slot);
+                                continue; // injected loss: first copy gone
+                            }
+                        }
+                        let from = self.drivers[node].id();
+                        self.push(
+                            now + Self::LATENCY,
+                            to.index(),
+                            Input::Msg { from, msg },
+                        );
+                    }
+                    Output::StartTimer { after, timer } => {
+                        self.push(now + after, node, Input::Timer(timer));
+                    }
+                    Output::Probe(ev) => {
+                        if let ProbeEvent::Assigned { job, to, reschedule, .. } = ev {
+                            self.assigned.push((job, to, reschedule));
+                        }
+                        if let ProbeEvent::AssignRetransmit { .. } = ev {
+                            self.retransmits += 1;
+                        }
+                    }
+                    Output::Completed { job } => {
+                        self.completed.push((job, self.drivers[node].id()));
+                    }
+                    Output::Lost { job } => self.lost.push(job),
+                    Output::Abandoned { job } => self.abandoned.push(job),
+                }
+            }
+        }
+
+        /// Drains the queue up to `horizon` (timers scheduled past it
+        /// are dropped, like a runtime being shut down).
+        fn run(&mut self, horizon: SimTime) {
+            while let Some(Ev { at, node, input, .. }) = self.queue.pop() {
+                if at > horizon {
+                    break;
+                }
+                self.now = at;
+                let outputs = self.drivers[node].handle(at, input);
+                self.apply(node, outputs);
+            }
+        }
+    }
+
+    fn fast_cfg() -> DriverConfig {
+        DriverConfig {
+            aria: AriaConfig {
+                accept_window: SimDuration::from_millis(300),
+                request_retry: SimDuration::from_secs(2),
+                assign_ack_timeout: SimDuration::from_millis(200),
+                ..AriaConfig::default()
+            },
+            failsafe: true,
+            failsafe_detection: SimDuration::from_secs(2),
+        }
+    }
+
+    #[test]
+    fn cluster_completes_every_job_exactly_once() {
+        let mut cluster = Cluster::new(5, fast_cfg());
+        cluster.start();
+        for j in 0..10u64 {
+            cluster.submit(SimTime::from_millis(j * 50), (j % 5) as u32, spec(j, 5));
+        }
+        cluster.run(SimTime::from_hours(2));
+        assert!(cluster.lost.is_empty(), "lost: {:?}", cluster.lost);
+        assert!(cluster.abandoned.is_empty(), "abandoned: {:?}", cluster.abandoned);
+        let mut done: Vec<u64> = cluster.completed.iter().map(|(j, _)| j.raw()).collect();
+        done.sort_unstable();
+        assert_eq!(done, (0..10).collect::<Vec<_>>(), "exactly-once completion");
+    }
+
+    /// The initial-assignment decision matches the simulator's: the
+    /// winner of a discovery round quotes the global minimum cost among
+    /// reachable bidders (ties break to the earliest offer, exactly
+    /// [`logic::better_offer`]'s rule — the same kernel `World` calls).
+    #[test]
+    fn winner_quotes_the_minimum_cost() {
+        let mut cluster = Cluster::new(5, fast_cfg());
+        cluster.start();
+        // Load nodes 0-3 with local work so their quotes differ; node 4
+        // stays idle and must win the later submission.
+        for j in 0..4u64 {
+            cluster.submit(SimTime::ZERO, j as u32, spec(j, 30));
+        }
+        cluster.run(SimTime::from_secs(10));
+        let probe_spec = spec(99, 5);
+        let quotes: Vec<(Cost, NodeId)> = cluster
+            .drivers
+            .iter()
+            .map(|d| {
+                (
+                    d.queue.cost_of_candidate(&probe_spec, cluster.now, &d.profile),
+                    d.id(),
+                )
+            })
+            .collect();
+        let best = quotes.iter().map(|&(c, _)| c).min().unwrap();
+        let at = cluster.now;
+        cluster.assigned.clear();
+        cluster.submit(at, 0, probe_spec);
+        cluster.run(SimTime::from_hours(2));
+        let (_job, winner, _) = cluster
+            .assigned
+            .iter()
+            .find(|(j, _, _)| j.raw() == 99)
+            .copied()
+            .expect("job 99 was assigned");
+        let (winner_cost, _) = quotes.iter().find(|&&(_, id)| id == winner).unwrap();
+        assert_eq!(
+            *winner_cost, best,
+            "assignment went to {winner:?} quoting {winner_cost}, but the minimum was {best}"
+        );
+    }
+
+    #[test]
+    fn dropped_assign_retransmits_and_still_completes() {
+        let mut cluster = Cluster::new(5, fast_cfg());
+        cluster.start();
+        // Make node 0 busy so the job is delegated remotely, then drop
+        // the first ASSIGN copy to every possible winner.
+        cluster.submit(SimTime::ZERO, 0, spec(0, 60));
+        cluster.run(SimTime::from_secs(5));
+        cluster.drop_first_assign_to = (0..5).map(NodeId::new).collect();
+        let at = cluster.now;
+        cluster.submit(at, 0, spec(1, 5));
+        cluster.run(SimTime::from_hours(3));
+        assert!(cluster.retransmits >= 1, "the lost ASSIGN must retransmit");
+        assert!(cluster.lost.is_empty(), "lost: {:?}", cluster.lost);
+        assert!(
+            cluster.completed.iter().any(|(j, _)| j.raw() == 1),
+            "job 1 completes after the retransmit"
+        );
+    }
+
+    #[test]
+    fn duplicate_assign_is_suppressed_and_reacked() {
+        let cfg = fast_cfg();
+        let peers = vec![NodeId::new(0), NodeId::new(1)];
+        let mut driver = NodeDriver::new(
+            NodeId::new(1),
+            profile(1.0),
+            Policy::Fcfs,
+            cfg,
+            7,
+            peers.clone(),
+            peers,
+        );
+        let s = spec(3, 10);
+        let assign = LiveMsg::Assign { initiator: NodeId::new(0), spec: s };
+        let now = SimTime::from_secs(1);
+        let first =
+            driver.handle(now, Input::Msg { from: NodeId::new(0), msg: assign.clone() });
+        assert!(first.iter().any(|o| matches!(o, Output::Send { msg: LiveMsg::Ack { .. }, .. })));
+        assert!(first
+            .iter()
+            .any(|o| matches!(o, Output::Probe(ProbeEvent::Enqueued { .. }))));
+        let dup = driver.handle(now, Input::Msg { from: NodeId::new(0), msg: assign });
+        assert!(dup
+            .iter()
+            .any(|o| matches!(o, Output::Probe(ProbeEvent::DuplicateSuppressed { .. }))));
+        assert!(dup.iter().any(|o| matches!(o, Output::Send { msg: LiveMsg::Ack { .. }, .. })));
+        assert!(
+            !dup.iter().any(|o| matches!(o, Output::Probe(ProbeEvent::Enqueued { .. }))),
+            "duplicate must not double-enqueue"
+        );
+    }
+
+    #[test]
+    fn flood_dedup_is_bounded() {
+        let cfg = DriverConfig::default();
+        let peers = vec![NodeId::new(0)];
+        let mut driver =
+            NodeDriver::new(NodeId::new(0), profile(1.0), Policy::Fcfs, cfg, 7, peers.clone(), peers);
+        for i in 0..(NodeDriver::MAX_SEEN as u32 + 100) {
+            driver.record_flood(FloodUid { origin: NodeId::new(9), seq: i });
+        }
+        assert_eq!(driver.seen.len(), NodeDriver::MAX_SEEN);
+        assert_eq!(driver.seen_order.len(), NodeDriver::MAX_SEEN);
+        // The most recent floods are still deduped.
+        assert!(!driver.record_flood(FloodUid {
+            origin: NodeId::new(9),
+            seq: NodeDriver::MAX_SEEN as u32 + 99
+        }));
+    }
+}

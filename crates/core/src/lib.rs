@@ -73,9 +73,11 @@ pub mod central;
 pub mod gossip;
 pub mod config;
 mod dense;
+pub mod driver;
 pub mod effects;
 pub mod explore;
 pub mod fault;
+pub mod logic;
 pub mod msg;
 pub mod multireq;
 pub mod net;

@@ -47,8 +47,9 @@
 use crate::config::{OverlayKind, WorldConfig};
 use crate::dense::{AssignInFlight, FloodTable, JobTable, PendingRequest};
 use crate::fault::{FaultKind, FaultPlan, FaultRecord};
+use crate::logic;
 use crate::msg::{FloodId, Message};
-use aria_grid::{Cost, CostKind, JobId, JobSpec, NodeProfile, Policy, SchedulerQueue};
+use aria_grid::{Cost, JobId, JobSpec, NodeProfile, Policy, SchedulerQueue};
 use aria_metrics::MetricsCollector;
 use aria_overlay::{builders, Blatant, NodeId, Topology};
 use aria_probe::{FloodKind, MsgKind, NullProbe, Probe, ProbeEvent};
@@ -917,19 +918,19 @@ impl<P: Probe> World<P> {
                     self.send_routed(now, initiator, winner, Message::Assign { initiator, job });
                 }
             }
-            None => {
-                let round = pending.round + 1;
-                if round < self.config.aria.max_request_rounds {
+            None => match logic::next_round(pending.round, self.config.aria.max_request_rounds) {
+                Some(round) => {
                     self.probe.record(now, ProbeEvent::RetryScheduled { job, initiator, round });
                     self.events.schedule(
                         now + self.config.aria.request_retry,
                         Event::RetryRequest { initiator, job, round },
                     );
-                } else {
+                }
+                None => {
                     self.probe.record(now, ProbeEvent::JobAbandoned { job, initiator });
                     self.abandoned.push(job);
                 }
-            }
+            },
         }
     }
 
@@ -1051,7 +1052,7 @@ impl<P: Probe> World<P> {
                     );
                     self.send_routed(now, to, initiator, Message::Accept { from: to, job, cost });
                 }
-                if (!bids || self.config.aria.forward_on_match) && hops_left > 1 {
+                if logic::should_forward(bids, self.config.aria.forward_on_match, hops_left) {
                     let forwarded =
                         Message::Request { initiator, job, hops_left: hops_left - 1, flood };
                     self.forward_flood(now, to, forwarded, self.config.aria.request_fanout);
@@ -1079,8 +1080,7 @@ impl<P: Probe> World<P> {
                 let bids = Self::node_can_bid(node, &spec);
                 if bids {
                     let my_cost = self.candidate_cost(to, job, &spec, now);
-                    let threshold = self.config.aria.reschedule_threshold.as_millis() as i64;
-                    if my_cost.improvement_over(cost) > threshold {
+                    if logic::undercuts(my_cost, cost, self.config.aria.reschedule_threshold) {
                         self.probe.record(
                             now,
                             ProbeEvent::BidSent {
@@ -1099,7 +1099,7 @@ impl<P: Probe> World<P> {
                         );
                     }
                 }
-                if (!bids || self.config.aria.forward_on_match) && hops_left > 1 {
+                if logic::should_forward(bids, self.config.aria.forward_on_match, hops_left) {
                     let forwarded =
                         Message::Inform { assignee, job, cost, hops_left: hops_left - 1, flood };
                     self.forward_flood(now, to, forwarded, self.config.aria.inform_fanout);
@@ -1119,10 +1119,7 @@ impl<P: Probe> World<P> {
             let slot = self.jobs.slot_mut(job);
             if slot.initiator == Some(to) {
                 if let Some(pending) = slot.pending.as_mut() {
-                    let better = match pending.best {
-                        None => true,
-                        Some((best, _)) => cost < best,
-                    };
+                    let better = logic::better_offer(pending.best, cost);
                     if better {
                         pending.best = Some((cost, from));
                     }
@@ -1153,12 +1150,12 @@ impl<P: Probe> World<P> {
         if !self.config.aria.rescheduling {
             return;
         }
-        let threshold = self.config.aria.reschedule_threshold.as_millis() as i64;
+        let threshold = self.config.aria.reschedule_threshold;
         let node = &mut self.nodes[to.index()];
         let Some(current) = node.queue.cost_of_waiting(job, now) else {
             return; // already moved, started, or never here: stale offer
         };
-        if cost.improvement_over(current) <= threshold {
+        if !logic::undercuts(cost, current, threshold) {
             return; // conditions changed; the move no longer pays off
         }
         node.queue.remove_waiting(job).expect("cost_of_waiting implies waiting");
@@ -1262,13 +1259,13 @@ impl<P: Probe> World<P> {
             return;
         }
         let alive = self.nodes[a.by.index()].alive && self.nodes[a.to.index()].alive;
-        if a.attempt < self.config.aria.assign_max_retries && alive {
+        if logic::may_retransmit(a.attempt, self.config.aria.assign_max_retries) && alive {
             let attempt = a.attempt + 1;
             self.jobs.slot_mut(job).assign = Some(AssignInFlight { attempt, ..a });
             self.probe.record(now, ProbeEvent::AssignRetransmit { job, to: a.to, attempt });
             let initiator = self.jobs.slot(job).initiator.unwrap_or(a.by);
             self.send_routed(now, a.by, a.to, Message::Assign { initiator, job });
-            let backoff = self.config.aria.assign_ack_timeout * (1u64 << attempt.min(16));
+            let backoff = logic::assign_backoff(self.config.aria.assign_ack_timeout, attempt);
             self.events.schedule(now + backoff, Event::AssignTimeout { job, epoch });
             return;
         }
@@ -1309,17 +1306,7 @@ impl<P: Probe> World<P> {
     /// Removes and returns the cheapest recorded offer for a job (the
     /// list is only populated while a fault plan is active).
     fn pop_best_offer(&mut self, job: JobId) -> Option<(Cost, NodeId)> {
-        let offers = &mut self.jobs.slot_mut(job).offers;
-        if offers.is_empty() {
-            return None;
-        }
-        let mut best = 0;
-        for i in 1..offers.len() {
-            if offers[i].0 < offers[best].0 {
-                best = i;
-            }
-        }
-        Some(offers.swap_remove(best))
+        logic::pop_best_offer(&mut self.jobs.slot_mut(job).offers)
     }
 
     /// Whether the job's recorded assignee is alive and actually holds it
@@ -1617,8 +1604,7 @@ impl<P: Probe> World<P> {
     /// job's cost family (batch offers are never mixed with deadline
     /// offers, §III-C).
     pub(crate) fn node_can_bid(node: &NodeState, job: &JobSpec) -> bool {
-        job.requirements.matches(&node.profile)
-            && (node.queue.policy().cost_kind() == CostKind::Nal) == job.is_deadline()
+        logic::can_bid(&node.profile, node.queue.policy(), job)
     }
 
     /// Marks a flood message's arrival. Returns `false` (and finishes the

@@ -1,0 +1,173 @@
+//! `aria-cluster` — spawn a localhost ARiA cluster, run a workload,
+//! merge the probe traces and report completion metrics.
+//!
+//! ```text
+//! aria-cluster [--nodes N] [--jobs J] [--ert-ms MS] [--loss P]
+//!              [--drop-first-assign] [--seed S] [--dir PATH]
+//!              [--node-binary PATH] [--deadline-secs S]
+//! ```
+//!
+//! The workload is an iMixed-style blend: jobs alternate between short
+//! and long expected running times and between two resource classes, so
+//! discovery, queueing and (with `--loss`) the retransmit path all get
+//! exercised. Every job takes the JSDL round trip before submission.
+//! Exits non-zero if any job is lost or completes other than once.
+
+use aria_core::config::ProtocolTiming;
+use aria_core::driver::DriverConfig;
+use aria_core::AriaConfig;
+use aria_grid::{
+    Architecture, JobId, JobRequirements, JobSpec, NodeProfile, OperatingSystem, PerfIndex,
+    Policy,
+};
+use aria_node::cluster::{run_cluster, ClusterSpec};
+use aria_sim::SimDuration;
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct Args {
+    nodes: u32,
+    jobs: u64,
+    ert_ms: u64,
+    loss: f64,
+    drop_first_assign: bool,
+    seed: u64,
+    dir: PathBuf,
+    node_binary: PathBuf,
+    deadline: Duration,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        nodes: 5,
+        jobs: 8,
+        ert_ms: 1000,
+        loss: 0.0,
+        drop_first_assign: false,
+        seed: 42,
+        dir: std::env::temp_dir().join("aria-cluster"),
+        node_binary: sibling_binary()?,
+        deadline: Duration::from_secs(45),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--nodes" => args.nodes = value("--nodes")?.parse().map_err(|e| format!("{e}"))?,
+            "--jobs" => args.jobs = value("--jobs")?.parse().map_err(|e| format!("{e}"))?,
+            "--ert-ms" => args.ert_ms = value("--ert-ms")?.parse().map_err(|e| format!("{e}"))?,
+            "--loss" => args.loss = value("--loss")?.parse().map_err(|e| format!("{e}"))?,
+            "--drop-first-assign" => args.drop_first_assign = true,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--dir" => args.dir = PathBuf::from(value("--dir")?),
+            "--node-binary" => args.node_binary = PathBuf::from(value("--node-binary")?),
+            "--deadline-secs" => {
+                args.deadline = Duration::from_secs(
+                    value("--deadline-secs")?.parse().map_err(|e| format!("{e}"))?,
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The `aria-node` binary next to this one in the target directory.
+fn sibling_binary() -> Result<PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = me.parent().ok_or("current_exe has no parent")?;
+    let name = if cfg!(windows) { "aria-node.exe" } else { "aria-node" };
+    Ok(dir.join(name))
+}
+
+/// An iMixed-style blend: alternating short/long ERTs over two resource
+/// classes, all satisfiable by the cluster's profiles.
+fn workload(jobs: u64, ert_ms: u64) -> Vec<JobSpec> {
+    (0..jobs)
+        .map(|i| {
+            let ert = SimDuration::from_millis(if i % 2 == 0 { ert_ms } else { ert_ms * 3 });
+            let requirements = if i % 3 == 0 {
+                JobRequirements::new(Architecture::Amd64, OperatingSystem::Linux, 8, 50)
+            } else {
+                JobRequirements::new(Architecture::Amd64, OperatingSystem::Linux, 2, 10)
+            };
+            JobSpec::batch(JobId::new(i), requirements, ert)
+        })
+        .collect()
+}
+
+/// Protocol timing tightened from the paper's simulation timescale to a
+/// live loopback one — shape preserved, constants scaled.
+fn live_timing() -> DriverConfig {
+    let mut aria = AriaConfig::default().with_timing(ProtocolTiming {
+        accept_window: SimDuration::from_millis(300),
+        request_retry: SimDuration::from_millis(1000),
+        max_request_rounds: 50,
+        assign_ack_timeout: SimDuration::from_millis(200),
+        assign_max_retries: 4,
+    });
+    aria.inform_period = SimDuration::from_millis(2000);
+    DriverConfig { aria, failsafe: true, failsafe_detection: SimDuration::from_millis(3000) }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("aria-cluster: {e}");
+            std::process::exit(2);
+        }
+    };
+    let jobs = workload(args.jobs, args.ert_ms);
+    let spec = ClusterSpec {
+        nodes: args.nodes,
+        jobs: jobs.clone(),
+        profiles: vec![
+            NodeProfile::new(
+                Architecture::Amd64,
+                OperatingSystem::Linux,
+                64,
+                1000,
+                PerfIndex::BASELINE,
+            ),
+            NodeProfile::new(
+                Architecture::Amd64,
+                OperatingSystem::Linux,
+                16,
+                200,
+                PerfIndex::new(1.5).expect("valid index"),
+            ),
+        ],
+        policies: vec![Policy::Fcfs, Policy::Sjf],
+        driver: live_timing(),
+        loss: args.loss,
+        drop_first_assign: args.drop_first_assign,
+        seed: args.seed,
+        dir: args.dir,
+        node_binary: args.node_binary,
+        deadline: args.deadline,
+    };
+    let outcome = match run_cluster(&spec) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("aria-cluster: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "aria-cluster: nodes={} jobs={} completed={} retransmits={} injected_drops={} \
+         lost_events={} trace={}",
+        spec.nodes,
+        jobs.len(),
+        outcome.completed.len(),
+        outcome.retransmits,
+        outcome.injected_drops,
+        outcome.lost_events,
+        outcome.merged_path.display(),
+    );
+    if let Err(violation) = outcome.check_conservation(&jobs) {
+        eprintln!("aria-cluster: CONSERVATION VIOLATED: {violation}");
+        std::process::exit(1);
+    }
+    println!("aria-cluster: job conservation holds ({} jobs, exactly once each)", jobs.len());
+}

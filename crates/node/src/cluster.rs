@@ -1,0 +1,272 @@
+//! Multi-process localhost cluster harness.
+//!
+//! [`run_cluster`] spawns N `aria-node` processes on loopback UDP,
+//! submits a JSDL workload (each job is written to disk as a JSDL
+//! document and parsed back before submission — the live counterpart of
+//! the paper's job-profile interchange), collects completion reports,
+//! shuts the nodes down and merges their per-node probe traces into one
+//! schema-valid JSONL stream that `cargo xtask probe timeline/summary`
+//! reads exactly like a simulator trace.
+
+use crate::config::NodeConfig;
+use aria_core::driver::{DriverConfig, LiveMsg};
+use aria_grid::{JobId, JobSpec, NodeProfile, Policy};
+use aria_jsdl::JobDefinition;
+use aria_overlay::NodeId;
+use aria_probe::schema;
+use aria_probe::{ProbeEvent, Trace, TraceEntry, TraceMeta};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::UdpSocket;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// What to run: node count, workload, fault knobs and file layout.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of nodes to spawn.
+    pub nodes: u32,
+    /// The workload; each spec takes the JSDL round trip before submission.
+    pub jobs: Vec<JobSpec>,
+    /// Per-node profiles; cycled if shorter than `nodes`.
+    pub profiles: Vec<NodeProfile>,
+    /// Per-node policies; cycled if shorter than `nodes`.
+    pub policies: Vec<Policy>,
+    /// Driver configuration template (timing usually tightened for live
+    /// runs; the defaults are the paper's simulation timescale).
+    pub driver: DriverConfig,
+    /// Inbound protocol-message loss probability injected at each node.
+    pub loss: f64,
+    /// Deterministically drop the first inbound ASSIGN at every node.
+    pub drop_first_assign: bool,
+    /// Base RNG seed; node k runs with `seed + k`.
+    pub seed: u64,
+    /// Scratch directory for configs, JSDL files and traces.
+    pub dir: PathBuf,
+    /// Path to the `aria-node` binary.
+    pub node_binary: PathBuf,
+    /// Wall-clock budget for the whole run.
+    pub deadline: Duration,
+}
+
+/// What the run produced.
+#[derive(Debug)]
+pub struct ClusterOutcome {
+    /// Completion reports: which node finished each job.
+    pub completed: BTreeMap<JobId, NodeId>,
+    /// The merged, re-sequenced, schema-validated probe trace.
+    pub merged: Trace,
+    /// Path the merged JSONL was written to (`cluster.jsonl`).
+    pub merged_path: PathBuf,
+    /// ASSIGN retransmissions observed across the cluster.
+    pub retransmits: u64,
+    /// Fault-stage drops recorded across the cluster.
+    pub injected_drops: u64,
+    /// `job-lost` events observed (must be 0 for a conserving run).
+    pub lost_events: u64,
+}
+
+impl ClusterOutcome {
+    /// The job-conservation oracle over the merged trace: every
+    /// submitted job completed on exactly one node, and nothing was
+    /// lost. Returns a description of the first violation.
+    pub fn check_conservation(&self, jobs: &[JobSpec]) -> Result<(), String> {
+        if self.lost_events > 0 {
+            return Err(format!("{} job-lost event(s) in the merged trace", self.lost_events));
+        }
+        let mut completions: BTreeMap<JobId, u64> = BTreeMap::new();
+        for entry in &self.merged.entries {
+            if let ProbeEvent::Completed { job, .. } = entry.event {
+                *completions.entry(job).or_default() += 1;
+            }
+        }
+        for spec in jobs {
+            match completions.get(&spec.id).copied().unwrap_or(0) {
+                1 => {}
+                0 => return Err(format!("{} never completed", spec.id)),
+                n => return Err(format!("{} completed {n} times", spec.id)),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the cluster end to end. See the module docs for the phases.
+pub fn run_cluster(spec: &ClusterSpec) -> io::Result<ClusterOutcome> {
+    assert!(spec.nodes >= 2, "a cluster needs at least two nodes");
+    assert!(!spec.jobs.is_empty(), "a cluster run needs a workload");
+    std::fs::create_dir_all(&spec.dir)?;
+
+    // The report socket stays bound for the whole run; node ports are
+    // reserved by binding and immediately released (fine on loopback —
+    // nothing else races for just-freed ephemeral ports in CI).
+    let report = UdpSocket::bind("127.0.0.1:0")?;
+    let report_addr = report.local_addr()?;
+    let reservations: Vec<UdpSocket> =
+        (0..spec.nodes).map(|_| UdpSocket::bind("127.0.0.1:0")).collect::<Result<_, _>>()?;
+    let node_addrs: Vec<String> = reservations
+        .iter()
+        .map(|s| Ok(format!("127.0.0.1:{}", s.local_addr()?.port())))
+        .collect::<io::Result<_>>()?;
+    drop(reservations);
+
+    // The JSDL leg: write each job out as a JSDL document and submit
+    // what parses back, so the wire workload went through the standard
+    // interchange format, not a Rust-only shortcut.
+    let mut workload = Vec::with_capacity(spec.jobs.len());
+    for job in &spec.jobs {
+        let path = spec.dir.join(format!("job-{:06}.xml", job.id.raw()));
+        let xml = JobDefinition::from_job_spec(job, Some(&format!("cluster-{}", job.id))).to_xml();
+        std::fs::write(&path, &xml)?;
+        let text = std::fs::read_to_string(&path)?;
+        let parsed = JobDefinition::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        let round_tripped = parsed
+            .to_job_spec(job.id)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        // JSDL carries ERT in whole seconds; a sub-second ERT would
+        // silently become a zero-cost job. Refuse rather than run a
+        // different workload than the caller asked for.
+        if round_tripped != *job {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{} does not survive the JSDL round trip (sub-second ERT or deadline?): \
+                     submitted {:?}, parsed back {:?}",
+                    job.id, job, round_tripped
+                ),
+            ));
+        }
+        workload.push(round_tripped);
+    }
+
+    let peers: Vec<(NodeId, String)> = node_addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| (NodeId::new(i as u32), addr.clone()))
+        .collect();
+    let mut children: Vec<Child> = Vec::with_capacity(spec.nodes as usize);
+    let mut trace_paths = Vec::with_capacity(spec.nodes as usize);
+    for i in 0..spec.nodes {
+        let trace = spec.dir.join(format!("node-{i}.jsonl"));
+        let config = NodeConfig {
+            id: NodeId::new(i),
+            bind: node_addrs[i as usize].clone(),
+            report: Some(report_addr.to_string()),
+            seed: spec.seed + u64::from(i),
+            policy: spec.policies[i as usize % spec.policies.len()],
+            profile: spec.profiles[i as usize % spec.profiles.len()],
+            driver: spec.driver,
+            peers: peers.clone(),
+            trace: Some(trace.to_string_lossy().into_owned()),
+            trace_capacity: 1 << 16,
+            loss: spec.loss,
+            drop_first_assign: spec.drop_first_assign,
+        };
+        let config_path = spec.dir.join(format!("node-{i}.toml"));
+        std::fs::write(&config_path, config.to_toml())?;
+        trace_paths.push(trace);
+        children.push(
+            Command::new(&spec.node_binary)
+                .arg(&config_path)
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()?,
+        );
+    }
+
+    // Give every child time to bind before the first submission; a
+    // datagram sent to an unbound port is silently gone.
+    std::thread::sleep(Duration::from_millis(500));
+
+    for (i, job) in workload.iter().enumerate() {
+        let target: std::net::SocketAddr = node_addrs[i % node_addrs.len()].parse().unwrap();
+        report.send_to(&aria_codec::encode(&LiveMsg::Submit { spec: *job }), target)?;
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let started = Instant::now();
+    let mut completed: BTreeMap<JobId, NodeId> = BTreeMap::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    report.set_read_timeout(Some(Duration::from_millis(100)))?;
+    while completed.len() < workload.len() && started.elapsed() < spec.deadline {
+        let Ok((len, _src)) = report.recv_from(&mut buf) else { continue };
+        if let Ok(LiveMsg::Done { job, node }) = aria_codec::decode(&buf[..len]) {
+            completed.entry(job).or_insert(node);
+        }
+    }
+
+    // Shut everything down; retry the datagram until the child exits in
+    // case a copy is lost, then escalate to kill so the harness always
+    // terminates inside its budget.
+    for (i, child) in children.iter_mut().enumerate() {
+        let target: std::net::SocketAddr = node_addrs[i].parse().unwrap();
+        let mut exited = false;
+        for _ in 0..50 {
+            report.send_to(&aria_codec::encode(&LiveMsg::Shutdown), target)?;
+            std::thread::sleep(Duration::from_millis(40));
+            if child.try_wait()?.is_some() {
+                exited = true;
+                break;
+            }
+        }
+        if !exited {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    // Merge: order all retained entries by (time, node, seq) and
+    // re-sequence, producing one stream the schema validator accepts.
+    let mut tagged: Vec<(u32, TraceEntry)> = Vec::new();
+    let mut dropped = 0;
+    let mut injected_drops = 0;
+    for (i, path) in trace_paths.iter().enumerate() {
+        let text = std::fs::read_to_string(path)?;
+        let trace = schema::from_jsonl(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
+        dropped += trace.dropped;
+        for entry in trace.entries {
+            if matches!(entry.event, ProbeEvent::MessageDropped { .. }) {
+                injected_drops += 1;
+            }
+            tagged.push((i as u32, entry));
+        }
+    }
+    tagged.sort_by_key(|(node, entry)| (entry.at, *node, entry.seq));
+    let entries: Vec<TraceEntry> = tagged
+        .into_iter()
+        .enumerate()
+        .map(|(seq, (_node, entry))| TraceEntry { seq: seq as u64, ..entry })
+        .collect();
+    let retransmits = entries
+        .iter()
+        .filter(|e| matches!(e.event, ProbeEvent::AssignRetransmit { .. }))
+        .count() as u64;
+    let lost_events =
+        entries.iter().filter(|e| matches!(e.event, ProbeEvent::JobLost { .. })).count() as u64;
+    let merged = Trace {
+        meta: TraceMeta {
+            scenario: "live-cluster".to_string(),
+            seed: spec.seed,
+            nodes: u64::from(spec.nodes),
+            jobs: workload.len() as u64,
+        },
+        dropped,
+        entries,
+    };
+    schema::validate(&merged)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
+    let merged_path = spec.dir.join("cluster.jsonl");
+    std::fs::write(&merged_path, schema::to_jsonl(&merged))?;
+
+    Ok(ClusterOutcome {
+        completed,
+        merged,
+        merged_path,
+        retransmits,
+        injected_drops,
+        lost_events,
+    })
+}

@@ -1,0 +1,102 @@
+//! A monotonic-clock timer wheel for driver timers.
+//!
+//! The driver requests timers in relative [`SimDuration`]s; the runtime
+//! anchors them to its monotonic clock (milliseconds since startup,
+//! mapped onto [`aria_sim::SimTime`]) and delivers each exactly once.
+//! The wheel is a plain binary heap — node timer counts are tiny
+//! (per-job protocol deadlines plus a periodic tick), far below where a
+//! hashed or hierarchical wheel would pay off.
+
+use aria_core::driver::Timer;
+use aria_sim::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry {
+    fire_at: SimTime,
+    seq: u64,
+    timer: Timer,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.fire_at == other.fire_at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: earliest deadline pops first from the max-heap.
+        (other.fire_at, other.seq).cmp(&(self.fire_at, self.seq))
+    }
+}
+
+/// Pending timers ordered by deadline; FIFO among equal deadlines.
+#[derive(Default)]
+pub struct TimerWheel {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl TimerWheel {
+    /// Creates an empty wheel.
+    pub fn new() -> Self {
+        TimerWheel { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `timer` to fire at `fire_at`.
+    pub fn arm(&mut self, fire_at: SimTime, timer: Timer) {
+        self.heap.push(Entry { fire_at, seq: self.seq, timer });
+        self.seq += 1;
+    }
+
+    /// The earliest pending deadline, if any timer is armed.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.fire_at)
+    }
+
+    /// Pops the next timer due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<Timer> {
+        if self.heap.peek().is_some_and(|e| e.fire_at <= now) {
+            return self.heap.pop().map(|e| e.timer);
+        }
+        None
+    }
+
+    /// Number of armed timers.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no timer is armed.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aria_grid::JobId;
+
+    #[test]
+    fn fires_in_deadline_order_fifo_on_ties() {
+        let mut wheel = TimerWheel::new();
+        let t = |n: u64| Timer::ExecutionComplete { job: JobId::new(n) };
+        wheel.arm(SimTime::from_millis(30), t(3));
+        wheel.arm(SimTime::from_millis(10), t(1));
+        wheel.arm(SimTime::from_millis(10), t(2));
+        assert_eq!(wheel.next_deadline(), Some(SimTime::from_millis(10)));
+        assert_eq!(wheel.pop_due(SimTime::from_millis(5)), None);
+        assert_eq!(wheel.pop_due(SimTime::from_millis(10)), Some(t(1)));
+        assert_eq!(wheel.pop_due(SimTime::from_millis(10)), Some(t(2)));
+        assert_eq!(wheel.pop_due(SimTime::from_millis(10)), None);
+        assert_eq!(wheel.pop_due(SimTime::from_millis(31)), Some(t(3)));
+        assert!(wheel.is_empty());
+    }
+}

@@ -71,8 +71,9 @@ use std::process::ExitCode;
 
 /// Printed alongside a clean lint run so the exemption story stays
 /// visible (the authoritative list lives in [`source::EXEMPT_CRATES`]).
-const EXEMPT_NOTE: &str = "crates/bench, crates/xtask and vendor/* are exempt from \
-                           determinism rules (wall-clock timing is their job)";
+const EXEMPT_NOTE: &str = "crates/bench, crates/xtask, crates/node and vendor/* are exempt \
+                           from determinism rules (wall-clock timing and live I/O are their \
+                           job; crates/node is the sole holder of the io-purity surface)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -194,6 +195,9 @@ fn self_check_gate() -> ExitCode {
         ("ambient-rng", "let mut rng = rand::thread_rng();\n"),
         ("thread-spawn", "let h = std::thread::spawn(move || work());\n"),
         ("thread-spawn", "let pool = ThreadPool::with_threads(8);\n"),
+        ("io-purity", "use std::net::UdpSocket;\n"),
+        ("io-purity", "let addr: SocketAddr = bind.parse().unwrap();\n"),
+        ("io-purity", "tokio::spawn(async move { serve(listener).await });\n"),
         (
             "unordered-reduction",
             "// det:allow(hash-collections): seeded\nlet s: f64 = m.values().sum::<f64>(); let m: HashMap<u32, f64> = x;\n",

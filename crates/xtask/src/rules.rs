@@ -79,6 +79,23 @@ const RULES: &[Rule] = &[
               shard executor do",
     },
     Rule {
+        name: "io-purity",
+        patterns: &[
+            "tokio",
+            "async_std",
+            "std::net",
+            "UdpSocket",
+            "TcpStream",
+            "TcpListener",
+            "SocketAddr",
+            "mio",
+        ],
+        why: "live I/O reachable from sans-io code: sockets and async runtimes belong \
+              exclusively to crates/node (the exempt live layer); protocol code talks to \
+              the world only through driver Inputs/Outputs, so the simulator and the live \
+              node are guaranteed to replay the same decision kernels",
+    },
+    Rule {
         name: "float-ord",
         patterns: &["partial_cmp"],
         why: "partial float ordering: `partial_cmp(..).unwrap()` panics on NaN and silently \
@@ -283,6 +300,24 @@ mod tests {
         assert_eq!(rules_hit("let h = std::thread::spawn(move || work());"), ["thread-spawn"]);
         assert_eq!(rules_hit("let pool = ThreadPool::new(8);"), ["thread-spawn"]);
         assert_eq!(rules_hit("rayon::join(a, b);"), ["thread-spawn"]);
+    }
+
+    #[test]
+    fn live_io_is_flagged_in_sans_io_code() {
+        assert_eq!(rules_hit("use std::net::UdpSocket;"), ["io-purity"]);
+        assert_eq!(rules_hit("let addr: SocketAddr = s.parse()?;"), ["io-purity"]);
+        assert_eq!(rules_hit("tokio::spawn(async move { serve().await });"), ["io-purity"]);
+        assert_eq!(rules_hit("let l = TcpListener::bind(addr)?;"), ["io-purity"]);
+    }
+
+    #[test]
+    fn driver_vocabulary_does_not_trip_the_io_rule() {
+        // The sans-io driver talks *about* the network without touching
+        // it: message/peer vocabulary must stay lint-clean.
+        let clean = "let out = driver.handle(now, Input::Msg { from, msg });\n\
+                     let peers: Vec<NodeId> = overlay.neighbors(id);\n\
+                     out.push(Output::Send { to, msg });\n";
+        assert!(rules_hit(clean).is_empty());
     }
 
     #[test]

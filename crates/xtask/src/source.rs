@@ -14,7 +14,7 @@ use std::path::{Path, PathBuf};
 /// sources, tests included.
 pub const SIM_REACHABLE_CRATES: &[&str] = &[
     "sim", "overlay", "grid", "workload", "metrics", "jsdl", "trace", "core", "probe", "model",
-    "scenarios",
+    "scenarios", "codec",
 ];
 
 /// Top-level directories compiled into sim-reachable test/example
@@ -22,10 +22,12 @@ pub const SIM_REACHABLE_CRATES: &[&str] = &[
 pub const SIM_REACHABLE_DIRS: &[&str] = &["tests", "examples"];
 
 /// Workspace crates exempt from the determinism rules (but not from the
-/// attribute check): `bench` times wall-clock throughput by design and
-/// `xtask` is this tool. `vendor/*` members (offline stand-ins for
+/// attribute check): `bench` times wall-clock throughput by design,
+/// `xtask` is this tool, and `node` is the live I/O layer — the one
+/// crate whose whole job is the sockets and clocks the io-purity rule
+/// bans everywhere else. `vendor/*` members (offline stand-ins for
 /// external crates) are exempt wholesale.
-pub const EXEMPT_CRATES: &[&str] = &["bench", "xtask"];
+pub const EXEMPT_CRATES: &[&str] = &["bench", "xtask", "node"];
 
 /// Directory names never descended into while collecting sources:
 /// build output and the vendored dependency stand-ins.
