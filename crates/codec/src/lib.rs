@@ -121,6 +121,8 @@ mod kind {
     pub const SUBMIT: u8 = 8;
     pub const DONE: u8 = 9;
     pub const SHUTDOWN: u8 = 10;
+    pub const HEARTBEAT: u8 = 11;
+    pub const HOLDING: u8 = 12;
 }
 
 // --- encoding ------------------------------------------------------------
@@ -180,6 +182,15 @@ pub fn encode(msg: &LiveMsg) -> Vec<u8> {
             put_node(&mut out, *node);
         }
         LiveMsg::Shutdown => out.extend_from_slice(&[VERSION, kind::SHUTDOWN]),
+        LiveMsg::Heartbeat { node } => {
+            out.extend_from_slice(&[VERSION, kind::HEARTBEAT]);
+            put_node(&mut out, *node);
+        }
+        LiveMsg::Holding { job, node } => {
+            out.extend_from_slice(&[VERSION, kind::HOLDING]);
+            put_job(&mut out, *job);
+            put_node(&mut out, *node);
+        }
     }
     let payload = out.len() - 4;
     debug_assert!(payload <= MAX_PAYLOAD, "encoder produced an oversized frame");
@@ -305,6 +316,8 @@ pub fn decode(buf: &[u8]) -> Result<LiveMsg, CodecError> {
         kind::SUBMIT => LiveMsg::Submit { spec: r.spec()? },
         kind::DONE => LiveMsg::Done { job: r.job()?, node: r.node()? },
         kind::SHUTDOWN => LiveMsg::Shutdown,
+        kind::HEARTBEAT => LiveMsg::Heartbeat { node: r.node()? },
+        kind::HOLDING => LiveMsg::Holding { job: r.job()?, node: r.node()? },
         other => return Err(CodecError::BadKind(other)),
     };
     if !r.buf.is_empty() {
@@ -458,6 +471,30 @@ mod tests {
         let bytes = encode(&LiveMsg::Shutdown);
         assert_eq!(bytes, vec![2, 0, 0, 0, 1, 10]);
         assert_eq!(decode(&bytes).unwrap(), LiveMsg::Shutdown);
+    }
+
+    /// Membership frames are additive kinds under the same version:
+    /// their byte layout is part of the wire contract too.
+    #[test]
+    fn golden_membership_frames() {
+        let hb = encode(&LiveMsg::Heartbeat { node: NodeId::new(5) });
+        assert_eq!(hb, vec![6, 0, 0, 0, 1, 11, 5, 0, 0, 0]);
+        assert_eq!(decode(&hb).unwrap(), LiveMsg::Heartbeat { node: NodeId::new(5) });
+
+        let holding = encode(&LiveMsg::Holding { job: JobId::new(9), node: NodeId::new(2) });
+        #[rustfmt::skip]
+        let expected: Vec<u8> = vec![
+            14, 0, 0, 0,             // payload length = 14
+            1,                       // version
+            12,                      // kind = HOLDING
+            9, 0, 0, 0, 0, 0, 0, 0,  // job id 9
+            2, 0, 0, 0,              // holder n2
+        ];
+        assert_eq!(holding, expected);
+        assert_eq!(
+            decode(&holding).unwrap(),
+            LiveMsg::Holding { job: JobId::new(9), node: NodeId::new(2) }
+        );
     }
 
     #[test]

@@ -53,9 +53,9 @@ prop_compose! {
 }
 
 prop_compose! {
-    /// One arbitrary message of any of the ten wire kinds.
+    /// One arbitrary message of any of the twelve wire kinds.
     fn arb_msg()(
-        kind in 0u8..10,
+        kind in 0u8..12,
         spec in arb_spec(),
         node_a in 0u32..1000,
         node_b in 0u32..1000,
@@ -79,6 +79,8 @@ prop_compose! {
             6 => LiveMsg::Leave { node: a },
             7 => LiveMsg::Submit { spec },
             8 => LiveMsg::Done { job, node: b },
+            9 => LiveMsg::Heartbeat { node: a },
+            10 => LiveMsg::Holding { job, node: b },
             _ => LiveMsg::Shutdown,
         }
     }

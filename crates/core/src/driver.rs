@@ -131,6 +131,20 @@ pub enum LiveMsg {
         /// The departing node.
         node: NodeId,
     },
+    /// Periodic liveness beacon: "I am still here" (failure detection).
+    Heartbeat {
+        /// The beaconing node.
+        node: NodeId,
+    },
+    /// Holder update to a job's initiator after a §III-D steal moved the
+    /// job without the initiator in the loop, so failsafe delegation
+    /// tracking follows the job.
+    Holding {
+        /// The job that moved.
+        job: JobId,
+        /// The node now holding it.
+        node: NodeId,
+    },
     /// Harness → node: submit a job at this node (it becomes initiator).
     Submit {
         /// The submitted job.
@@ -159,6 +173,8 @@ impl LiveMsg {
             LiveMsg::Ack { .. }
             | LiveMsg::Join { .. }
             | LiveMsg::Leave { .. }
+            | LiveMsg::Heartbeat { .. }
+            | LiveMsg::Holding { .. }
             | LiveMsg::Submit { .. }
             | LiveMsg::Done { .. }
             | LiveMsg::Shutdown => MsgKind::Ack,
@@ -167,6 +183,8 @@ impl LiveMsg {
 
     /// Whether this is a protocol message (subject to simulated loss at
     /// the codec boundary) rather than a harness control frame.
+    /// Heartbeats are protocol: injected loss windows must be able to
+    /// starve a failure detector, or partitions cannot be approximated.
     pub fn is_protocol(&self) -> bool {
         matches!(
             self,
@@ -175,6 +193,8 @@ impl LiveMsg {
                 | LiveMsg::Inform { .. }
                 | LiveMsg::Assign { .. }
                 | LiveMsg::Ack { .. }
+                | LiveMsg::Heartbeat { .. }
+                | LiveMsg::Holding { .. }
         )
     }
 }
@@ -218,6 +238,8 @@ pub enum Timer {
         /// The possibly-lost job.
         job: JobId,
     },
+    /// Periodic failure-detector sweep + outgoing heartbeat fan-out.
+    HeartbeatTick,
 }
 
 /// One input to the driver: a decoded message, a timer fire or a local
@@ -273,6 +295,47 @@ pub enum Output {
     },
 }
 
+/// Failure-detection knobs: how often heartbeats go out and how many
+/// silent periods demote a peer to suspect and then to dead.
+///
+/// The derived timeouts are `heartbeat_period * suspect_misses` and
+/// `heartbeat_period * dead_misses`. Suspicion is telemetry-only (it
+/// tolerates jitter without protocol consequences); death excludes the
+/// peer from fan-out sampling and bid candidacy and triggers immediate
+/// recovery of delegations to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipConfig {
+    /// Heartbeat transmit + detector sweep period. `ZERO` disables the
+    /// failure detector entirely (the pre-membership static behaviour).
+    pub heartbeat_period: SimDuration,
+    /// Silent periods before a peer is suspected.
+    pub suspect_misses: u32,
+    /// Silent periods before a suspected peer is declared dead.
+    pub dead_misses: u32,
+}
+
+impl MembershipConfig {
+    /// Silence after which a peer is suspected.
+    pub fn suspect_after(&self) -> SimDuration {
+        self.heartbeat_period * u64::from(self.suspect_misses)
+    }
+
+    /// Silence after which a peer is declared dead.
+    pub fn dead_after(&self) -> SimDuration {
+        self.heartbeat_period * u64::from(self.dead_misses)
+    }
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig {
+            heartbeat_period: SimDuration::from_secs(1),
+            suspect_misses: 3,
+            dead_misses: 8,
+        }
+    }
+}
+
 /// Driver-level configuration: the shared protocol parameters plus the
 /// failsafe knobs the simulator keeps on [`crate::WorldConfig`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -285,6 +348,8 @@ pub struct DriverConfig {
     pub failsafe: bool,
     /// How long until a delegation is presumed evaporated.
     pub failsafe_detection: SimDuration,
+    /// Heartbeat/suspect/dead failure-detection knobs.
+    pub membership: MembershipConfig,
 }
 
 impl Default for DriverConfig {
@@ -293,8 +358,27 @@ impl Default for DriverConfig {
             aria: AriaConfig::default(),
             failsafe: true,
             failsafe_detection: SimDuration::from_mins(5),
+            membership: MembershipConfig::default(),
         }
     }
+}
+
+/// Liveness verdict the failure detector holds for a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PeerState {
+    /// Heard from recently.
+    Alive,
+    /// Missed enough heartbeats to worry; still sampled and assignable.
+    Suspect,
+    /// Missed enough heartbeats to act: excluded and recovered from.
+    Dead,
+}
+
+/// Per-peer failure-detector bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct PeerHealth {
+    last_seen: SimTime,
+    state: PeerState,
 }
 
 /// An initiator's open offer-collection window.
@@ -320,9 +404,11 @@ pub struct NodeDriver {
     queue: SchedulerQueue,
     cfg: DriverConfig,
     rng: SimRng,
-    /// All known overlay members (flood seeding picks random subsets).
-    peers: Vec<NodeId>,
-    /// Direct overlay neighbors (flood forwarding targets).
+    /// All known overlay members (flood seeding picks random subsets)
+    /// with per-peer failure-detector state. Never contains this node.
+    membership: BTreeMap<NodeId, PeerHealth>,
+    /// Direct overlay neighbors (flood forwarding targets); filtered by
+    /// liveness at sampling time.
     neighbors: Vec<NodeId>,
     /// Flood dedup: floods this node already processed, FIFO-bounded.
     seen: BTreeSet<FloodUid>,
@@ -343,6 +429,14 @@ pub struct NodeDriver {
     assign_epoch: u32,
     /// Jobs that finished executing here (idempotent-ASSIGN suppression).
     completed: BTreeSet<JobId>,
+    /// ACKed delegations this initiator still tracks: job → current
+    /// holder, updated by ACK/Holding, cleared by the executor's Done.
+    /// When the holder is declared dead the job is recovered (§III-D).
+    delegated: BTreeMap<JobId, NodeId>,
+    /// Jobs this initiator knows completed remotely (Done received).
+    settled: BTreeSet<JobId>,
+    /// FIFO ring of terminal jobs; overflow purges their bookkeeping.
+    retired_order: VecDeque<JobId>,
 }
 
 impl NodeDriver {
@@ -353,6 +447,12 @@ impl NodeDriver {
     /// per-node seen sets still dedup anything the list no longer
     /// covers).
     pub const MAX_VISITED: usize = 256;
+    /// Terminal-job memory: how many retired (completed, settled, lost
+    /// or abandoned) jobs keep their spec/initiator/dedup bookkeeping.
+    /// Within this retention window duplicate ASSIGNs are still
+    /// suppressed; beyond it the oldest entries are purged so a
+    /// long-haul soak cannot grow memory without bound.
+    pub const MAX_RETIRED: usize = 4096;
 
     /// Builds a driver for node `id`. `peers` is the full known overlay
     /// membership (used to seed REQUEST floods at random members, like
@@ -367,13 +467,18 @@ impl NodeDriver {
         peers: Vec<NodeId>,
         neighbors: Vec<NodeId>,
     ) -> Self {
+        let membership = peers
+            .into_iter()
+            .filter(|&n| n != id)
+            .map(|n| (n, PeerHealth { last_seen: SimTime::ZERO, state: PeerState::Alive }))
+            .collect();
         NodeDriver {
             id,
             profile,
             queue: SchedulerQueue::new(policy),
             cfg,
             rng: SimRng::seed_from(seed),
-            peers,
+            membership,
             neighbors,
             seen: BTreeSet::new(),
             seen_order: VecDeque::new(),
@@ -385,6 +490,9 @@ impl NodeDriver {
             armed: BTreeMap::new(),
             assign_epoch: 0,
             completed: BTreeSet::new(),
+            delegated: BTreeMap::new(),
+            settled: BTreeSet::new(),
+            retired_order: VecDeque::new(),
         }
     }
 
@@ -399,14 +507,28 @@ impl NodeDriver {
     }
 
     /// Initial outputs before any input arrives: the periodic INFORM
-    /// tick when dynamic rescheduling is enabled.
-    pub fn start(&mut self) -> Vec<Output> {
+    /// tick when dynamic rescheduling is enabled, plus — when the
+    /// failure detector is on — a `Join` broadcast (so peers that had
+    /// declared this node dead readmit a restarted incarnation) and the
+    /// first heartbeat tick. `now` baselines every peer's last-seen
+    /// clock so nobody is declared dead for silence predating startup.
+    pub fn start(&mut self, now: SimTime) -> Vec<Output> {
         let mut out = Vec::new();
+        for health in self.membership.values_mut() {
+            health.last_seen = now;
+        }
         if self.cfg.aria.rescheduling {
             out.push(Output::StartTimer {
                 after: self.cfg.aria.inform_period,
                 timer: Timer::InformTick,
             });
+        }
+        let period = self.cfg.membership.heartbeat_period;
+        if !period.is_zero() {
+            for &peer in self.membership.keys() {
+                out.push(Output::Send { to: peer, msg: LiveMsg::Join { node: self.id } });
+            }
+            out.push(Output::StartTimer { after: period, timer: Timer::HeartbeatTick });
         }
         out
     }
@@ -449,8 +571,15 @@ impl NodeDriver {
         self.pending.insert(job, PendingRound { round, best: own_bid });
 
         let flood = self.next_flood();
-        let mut candidates: Vec<NodeId> =
-            self.peers.iter().copied().filter(|&n| n != self.id).collect();
+        // Dead peers are excluded from flood seeding: their bids cannot
+        // arrive and assigning to them is recovery work waiting to
+        // happen. Suspects stay in — suspicion tolerates jitter.
+        let mut candidates: Vec<NodeId> = self
+            .membership
+            .iter()
+            .filter(|(_, h)| h.state != PeerState::Dead)
+            .map(|(&n, _)| n)
+            .collect();
         self.rng.sample_in_place(&mut candidates, self.cfg.aria.request_fanout);
         let seeds = candidates;
         for &seed in &seeds {
@@ -493,6 +622,7 @@ impl NodeDriver {
             Timer::DispatchRetry => self.try_start(now, out),
             Timer::InformTick => self.inform_tick(now, out),
             Timer::Recover { job } => self.recover(now, job, out),
+            Timer::HeartbeatTick => self.heartbeat_tick(now, out),
         }
     }
 
@@ -500,8 +630,16 @@ impl NodeDriver {
         let Some(pending) = self.pending.remove(&job) else {
             return;
         };
-        match pending.best {
-            Some((_cost, winner)) => {
+        // The best bidder may have been declared dead while the window
+        // was open; fall back to the next-best live offer, then to the
+        // ordinary empty-window retry path.
+        let winner = match pending.best {
+            Some((_cost, w)) if w == self.id || !self.is_dead(w) => Some(w),
+            Some(_) => self.pop_live_offer(job, None).map(|(_, next)| next),
+            None => None,
+        };
+        match winner {
+            Some(winner) => {
                 out.push(Output::Probe(ProbeEvent::Assigned {
                     job,
                     by: self.id,
@@ -534,6 +672,7 @@ impl NodeDriver {
                 None => {
                     out.push(Output::Probe(ProbeEvent::JobAbandoned { job, initiator: self.id }));
                     out.push(Output::Abandoned { job });
+                    self.retire(job);
                 }
             },
         }
@@ -550,7 +689,11 @@ impl NodeDriver {
             self.armed.remove(&job);
             return;
         }
-        if logic::may_retransmit(a.attempt, self.cfg.aria.assign_max_retries) {
+        // A dead assignee short-circuits the remaining retransmit
+        // budget: the failure detector already out-waited any backoff,
+        // so go straight to the recorded-offer fallback / failsafe.
+        if !self.is_dead(a.to) && logic::may_retransmit(a.attempt, self.cfg.aria.assign_max_retries)
+        {
             let attempt = a.attempt + 1;
             self.armed.insert(job, ArmedAssign { attempt, ..a });
             out.push(Output::Probe(ProbeEvent::AssignRetransmit { job, to: a.to, attempt }));
@@ -563,30 +706,54 @@ impl NodeDriver {
             });
             return;
         }
-        // Retries exhausted: this delegation is abandoned.
+        // Retries exhausted (or the target died): delegation abandoned.
         self.armed.remove(&job);
-        let mut fallback = None;
-        if let Some(offers) = self.offers.get_mut(&job) {
-            while let Some((cost, next)) = logic::pop_best_offer(offers) {
-                if next != a.to {
-                    fallback = Some((cost, next));
-                    break;
-                }
+        self.delegation_failed(now, job, a.to, a.reschedule, out);
+    }
+
+    /// Pops the best recorded offer for `job` from a node that is not
+    /// `exclude` and not declared dead (this node itself always counts
+    /// as live).
+    fn pop_live_offer(&mut self, job: JobId, exclude: Option<NodeId>) -> Option<(Cost, NodeId)> {
+        let mut list = self.offers.remove(&job)?;
+        let mut found = None;
+        while let Some((cost, next)) = logic::pop_best_offer(&mut list) {
+            if Some(next) != exclude && (next == self.id || !self.is_dead(next)) {
+                found = Some((cost, next));
+                break;
             }
         }
-        if let Some((_cost, next)) = fallback {
+        self.offers.insert(job, list);
+        found
+    }
+
+    /// The delegation of `job` to `failed` is abandoned (retransmit
+    /// budget exhausted, or the target was declared dead): fall back to
+    /// the next-best live recorded offer, then to the §III-D failsafe.
+    fn delegation_failed(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        failed: NodeId,
+        reschedule: bool,
+        out: &mut Vec<Output>,
+    ) {
+        if self.completed.contains(&job) || self.settled.contains(&job) || self.holds(job) {
+            return;
+        }
+        if let Some((_cost, next)) = self.pop_live_offer(job, Some(failed)) {
             out.push(Output::Probe(ProbeEvent::Assigned {
                 job,
                 by: self.id,
                 to: next,
-                reschedule: a.reschedule,
+                reschedule,
             }));
             if next == self.id {
                 self.enqueue_job(now, job, out);
             } else {
                 let initiator = self.initiator_of.get(&job).copied().unwrap_or(self.id);
                 let spec = self.specs[&job];
-                self.arm_assign(job, next, a.reschedule, out);
+                self.arm_assign(job, next, reschedule, out);
                 out.push(Output::Send { to: next, msg: LiveMsg::Assign { initiator, spec } });
             }
             return;
@@ -600,11 +767,16 @@ impl NodeDriver {
         } else {
             out.push(Output::Probe(ProbeEvent::JobLost { job }));
             out.push(Output::Lost { job });
+            self.retire(job);
         }
     }
 
     fn recover(&mut self, now: SimTime, job: JobId, out: &mut Vec<Output>) {
-        if self.completed.contains(&job) || self.holds(job) || self.pending.contains_key(&job) {
+        if self.completed.contains(&job)
+            || self.settled.contains(&job)
+            || self.holds(job)
+            || self.pending.contains_key(&job)
+        {
             return; // demonstrably fine, or discovery already underway
         }
         match self.initiator_of.get(&job) {
@@ -615,6 +787,149 @@ impl NodeDriver {
             _ => {
                 out.push(Output::Probe(ProbeEvent::JobLost { job }));
                 out.push(Output::Lost { job });
+                self.retire(job);
+            }
+        }
+    }
+
+    // --- failure detection & membership ----------------------------------
+
+    /// One detector sweep: demote silent peers (alive → suspect → dead,
+    /// with the suspect probe always preceding the dead probe), recover
+    /// delegations to the newly dead, then heartbeat every known peer —
+    /// dead ones included, so a healed partition or restarted peer hears
+    /// us and readmits both sides cheaply.
+    fn heartbeat_tick(&mut self, now: SimTime, out: &mut Vec<Output>) {
+        let m = self.cfg.membership;
+        if m.heartbeat_period.is_zero() {
+            return;
+        }
+        let suspect_after = m.suspect_after();
+        let dead_after = m.dead_after();
+        let mut newly_dead = Vec::new();
+        for (&peer, health) in self.membership.iter_mut() {
+            if health.state == PeerState::Dead {
+                continue;
+            }
+            let silent = now.saturating_since(health.last_seen);
+            if silent >= dead_after {
+                if health.state == PeerState::Alive {
+                    out.push(Output::Probe(ProbeEvent::PeerSuspected { peer, by: self.id }));
+                }
+                health.state = PeerState::Dead;
+                out.push(Output::Probe(ProbeEvent::PeerDead { peer, by: self.id }));
+                newly_dead.push(peer);
+            } else if silent >= suspect_after && health.state == PeerState::Alive {
+                health.state = PeerState::Suspect;
+                out.push(Output::Probe(ProbeEvent::PeerSuspected { peer, by: self.id }));
+            }
+        }
+        for peer in newly_dead {
+            self.peer_died(now, peer, out);
+        }
+        for &peer in self.membership.keys() {
+            out.push(Output::Send { to: peer, msg: LiveMsg::Heartbeat { node: self.id } });
+        }
+        out.push(Output::StartTimer { after: m.heartbeat_period, timer: Timer::HeartbeatTick });
+    }
+
+    /// Any message from a peer proves it is alive: refresh its last-seen
+    /// clock, readmit it if it was dead, admit it if it was unknown.
+    fn note_alive(&mut self, now: SimTime, peer: NodeId, out: &mut Vec<Output>) {
+        if peer == self.id {
+            return;
+        }
+        match self.membership.get_mut(&peer) {
+            Some(health) => {
+                let was_dead = health.state == PeerState::Dead;
+                health.last_seen = now;
+                health.state = PeerState::Alive;
+                if was_dead {
+                    out.push(Output::Probe(ProbeEvent::PeerRejoined { peer, by: self.id }));
+                }
+            }
+            None => {
+                self.membership
+                    .insert(peer, PeerHealth { last_seen: now, state: PeerState::Alive });
+                out.push(Output::Probe(ProbeEvent::NodeJoined { node: peer }));
+            }
+        }
+    }
+
+    /// Declares a peer dead out of band (graceful `Leave`); the detector
+    /// path goes through [`Self::heartbeat_tick`].
+    fn mark_dead(&mut self, now: SimTime, peer: NodeId, out: &mut Vec<Output>) {
+        let Some(health) = self.membership.get_mut(&peer) else {
+            return;
+        };
+        if health.state == PeerState::Dead {
+            return;
+        }
+        health.state = PeerState::Dead;
+        out.push(Output::Probe(ProbeEvent::PeerDead { peer, by: self.id }));
+        self.peer_died(now, peer, out);
+    }
+
+    /// A peer was declared dead: every delegation pointed at it is
+    /// recovered now instead of waiting out retransmit/failsafe timers.
+    fn peer_died(&mut self, now: SimTime, peer: NodeId, out: &mut Vec<Output>) {
+        // Un-ACKed ASSIGNs armed at this node: immediate offer fallback.
+        let armed_jobs: Vec<JobId> = self
+            .armed
+            .iter()
+            .filter(|(_, a)| a.to == peer)
+            .map(|(&job, _)| job)
+            .collect();
+        for job in armed_jobs {
+            let a = self.armed.remove(&job).expect("collected above");
+            self.delegation_failed(now, job, a.to, a.reschedule, out);
+        }
+        // ACKed delegations tracked by this initiator: failsafe now.
+        let held: Vec<JobId> = self
+            .delegated
+            .iter()
+            .filter(|&(_, &holder)| holder == peer)
+            .map(|(&job, _)| job)
+            .collect();
+        for job in held {
+            self.delegated.remove(&job);
+            self.recover(now, job, out);
+        }
+    }
+
+    fn is_dead(&self, node: NodeId) -> bool {
+        self.membership.get(&node).is_some_and(|h| h.state == PeerState::Dead)
+    }
+
+    /// The job's executor reported completion: stop tracking it.
+    fn settle(&mut self, job: JobId) {
+        self.delegated.remove(&job);
+        self.offers.remove(&job);
+        if self.settled.insert(job) {
+            self.retire(job);
+        }
+    }
+
+    /// Marks a job terminal (completed, settled, lost or abandoned) and
+    /// bounds per-job bookkeeping: the FIFO ring keeps the most recent
+    /// [`Self::MAX_RETIRED`] terminal jobs — their completed/settled
+    /// entries still suppress duplicates — and purges everything about
+    /// jobs evicted past the window.
+    fn retire(&mut self, job: JobId) {
+        if self.retired_order.contains(&job) {
+            return;
+        }
+        self.retired_order.push_back(job);
+        if self.retired_order.len() > Self::MAX_RETIRED {
+            if let Some(old) = self.retired_order.pop_front() {
+                self.specs.remove(&old);
+                self.initiator_of.remove(&old);
+                self.pending.remove(&old);
+                self.offers.remove(&old);
+                self.armed.remove(&old);
+                self.completed.remove(&old);
+                self.delegated.remove(&old);
+                self.settled.remove(&old);
             }
         }
     }
@@ -656,6 +971,9 @@ impl NodeDriver {
     // --- message handling ------------------------------------------------
 
     fn message(&mut self, now: SimTime, from: NodeId, msg: LiveMsg, out: &mut Vec<Output>) {
+        // Any inbound traffic is proof of life for its sender (a `Leave`
+        // immediately overrides this below).
+        self.note_alive(now, from, out);
         match msg {
             LiveMsg::Request { initiator, spec, hops_left, flood, visited } => {
                 let fresh = self.record_flood(flood);
@@ -745,23 +1063,36 @@ impl NodeDriver {
                     if a.to == from {
                         self.armed.remove(&job);
                         out.push(Output::Probe(ProbeEvent::AckReceived { job, from }));
+                        // The initiator keeps tracking ACKed delegations
+                        // until the executor's Done settles them, so a
+                        // holder dying post-ACK is recoverable.
+                        if self.initiator_of.get(&job) == Some(&self.id)
+                            && !self.settled.contains(&job)
+                            && !self.completed.contains(&job)
+                        {
+                            self.delegated.insert(job, from);
+                        }
                     }
                 }
             }
-            LiveMsg::Join { node } => {
-                if node != self.id && !self.peers.contains(&node) {
-                    self.peers.push(node);
-                    out.push(Output::Probe(ProbeEvent::NodeJoined { node }));
+            LiveMsg::Join { node } => self.note_alive(now, node, out),
+            LiveMsg::Leave { node } => self.mark_dead(now, node, out),
+            LiveMsg::Heartbeat { .. } => {} // note_alive above did the work
+            LiveMsg::Holding { job, node } => {
+                // Holder update for a job this node initiated: failsafe
+                // tracking follows the job through §III-D steals.
+                if self.initiator_of.get(&job) == Some(&self.id)
+                    && !self.settled.contains(&job)
+                    && !self.completed.contains(&job)
+                {
+                    self.delegated.insert(job, node);
                 }
             }
-            LiveMsg::Leave { node } => {
-                self.peers.retain(|&n| n != node);
-                self.neighbors.retain(|&n| n != node);
-            }
             LiveMsg::Submit { spec } => self.submit(now, spec, out),
-            // Done reports and Shutdown are harness control frames; the
-            // runtime intercepts them before the driver.
-            LiveMsg::Done { .. } | LiveMsg::Shutdown => {}
+            // The executor of a delegated job reports completion to the
+            // job's initiator (Shutdown is intercepted by the runtime).
+            LiveMsg::Done { job, .. } => self.settle(job),
+            LiveMsg::Shutdown => {}
         }
     }
 
@@ -824,7 +1155,11 @@ impl NodeDriver {
         let job = spec.id;
         self.specs.insert(job, spec);
         self.initiator_of.insert(job, initiator);
-        if self.completed.contains(&job) || self.pending.contains_key(&job) || self.holds(job) {
+        if self.completed.contains(&job)
+            || self.settled.contains(&job)
+            || self.pending.contains_key(&job)
+            || self.holds(job)
+        {
             out.push(Output::Probe(ProbeEvent::DuplicateSuppressed {
                 kind: MsgKind::Assign,
                 job,
@@ -835,6 +1170,14 @@ impl NodeDriver {
         }
         self.enqueue_job(now, job, out);
         out.push(Output::Send { to: from, msg: LiveMsg::Ack { from: self.id, job } });
+        if initiator != self.id && initiator != from {
+            // A steal moved the job here without the initiator in the
+            // loop: tell it who holds the job now.
+            out.push(Output::Send {
+                to: initiator,
+                msg: LiveMsg::Holding { job, node: self.id },
+            });
+        }
     }
 
     // --- local execution -------------------------------------------------
@@ -876,6 +1219,17 @@ impl NodeDriver {
         self.offers.remove(&job);
         out.push(Output::Probe(ProbeEvent::Completed { job, node: self.id }));
         out.push(Output::Completed { job });
+        // Tell the initiator so it stops tracking the delegation (and
+        // never tries to recover an already-finished job).
+        if let Some(&initiator) = self.initiator_of.get(&job) {
+            if initiator != self.id {
+                out.push(Output::Send {
+                    to: initiator,
+                    msg: LiveMsg::Done { job, node: self.id },
+                });
+            }
+        }
+        self.retire(job);
         self.try_start(now, out);
     }
 
@@ -917,7 +1271,7 @@ impl NodeDriver {
             .neighbors
             .iter()
             .copied()
-            .filter(|n| *n != self.id && !visited.contains(n))
+            .filter(|n| *n != self.id && !visited.contains(n) && !self.is_dead(*n))
             .collect();
         self.rng.sample_in_place(&mut candidates, fanout);
         if candidates.is_empty() {
@@ -980,6 +1334,10 @@ mod tests {
         at: SimTime,
         seq: u64,
         node: usize,
+        /// Process-incarnation stamp: events queued for an earlier
+        /// incarnation of `node` are dropped (a SIGKILL loses timers
+        /// and in-flight datagrams alike).
+        epoch: u32,
         input: Input,
     }
 
@@ -1035,11 +1393,21 @@ mod tests {
         queue: BinaryHeap<Ev>,
         seq: u64,
         now: SimTime,
+        /// Process liveness per node: a killed node receives nothing and
+        /// fires no timers until restarted.
+        alive: Vec<bool>,
+        /// Incarnation counter per node; bumped on restart.
+        epoch: Vec<u32>,
         completed: Vec<(JobId, NodeId)>,
         lost: Vec<JobId>,
         abandoned: Vec<JobId>,
         assigned: Vec<(JobId, NodeId, bool)>,
         retransmits: u32,
+        /// Membership probe events: (observing node, event).
+        membership_events: Vec<(NodeId, ProbeEvent)>,
+        /// Non-heartbeat sends addressed to currently-dead processes
+        /// (resettable; exclusion tests zero it after detection).
+        sends_to_down: u32,
         /// Drop the first ASSIGN copy addressed to each entry.
         drop_first_assign_to: Vec<NodeId>,
     }
@@ -1048,43 +1416,47 @@ mod tests {
         const LATENCY: SimDuration = SimDuration::from_millis(5);
 
         fn new(n: u32, cfg: DriverConfig) -> Self {
-            let peers: Vec<NodeId> = (0..n).map(NodeId::new).collect();
-            let drivers = (0..n)
-                .map(|i| {
-                    // Ring + full peer list: every node forwards along a
-                    // couple of neighbors, floods seed anywhere.
-                    let neighbors = vec![
-                        NodeId::new((i + 1) % n),
-                        NodeId::new((i + n - 1) % n),
-                        NodeId::new((i + 2) % n),
-                    ];
-                    NodeDriver::new(
-                        NodeId::new(i),
-                        profile(1.0 + f64::from(i % 2) * 0.5),
-                        Policy::Fcfs,
-                        cfg,
-                        1000 + u64::from(i),
-                        peers.clone(),
-                        neighbors,
-                    )
-                })
-                .collect();
+            let drivers = (0..n).map(|i| Self::make_driver(n, i, cfg, 1000 + u64::from(i))).collect();
             Cluster {
                 drivers,
                 queue: BinaryHeap::new(),
                 seq: 0,
                 now: SimTime::ZERO,
+                alive: vec![true; n as usize],
+                epoch: vec![0; n as usize],
                 completed: Vec::new(),
                 lost: Vec::new(),
                 abandoned: Vec::new(),
                 assigned: Vec::new(),
                 retransmits: 0,
+                membership_events: Vec::new(),
+                sends_to_down: 0,
                 drop_first_assign_to: Vec::new(),
             }
         }
 
+        fn make_driver(n: u32, i: u32, cfg: DriverConfig, seed: u64) -> NodeDriver {
+            // Ring + full peer list: every node forwards along a couple
+            // of neighbors, floods seed anywhere.
+            let peers: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+            let neighbors = vec![
+                NodeId::new((i + 1) % n),
+                NodeId::new((i + n - 1) % n),
+                NodeId::new((i + 2) % n),
+            ];
+            NodeDriver::new(
+                NodeId::new(i),
+                profile(1.0 + f64::from(i % 2) * 0.5),
+                Policy::Fcfs,
+                cfg,
+                seed,
+                peers,
+                neighbors,
+            )
+        }
+
         fn push(&mut self, at: SimTime, node: usize, input: Input) {
-            self.queue.push(Ev { at, seq: self.seq, node, input });
+            self.queue.push(Ev { at, seq: self.seq, node, epoch: self.epoch[node], input });
             self.seq += 1;
         }
 
@@ -1094,9 +1466,29 @@ mod tests {
 
         fn start(&mut self) {
             for i in 0..self.drivers.len() {
-                let outputs = self.drivers[i].start();
+                let outputs = self.drivers[i].start(self.now);
                 self.apply(i, outputs);
             }
+        }
+
+        /// SIGKILL analog: the node stops processing anything. Queued
+        /// events addressed to it die with the incarnation.
+        fn kill(&mut self, node: usize) {
+            self.alive[node] = false;
+        }
+
+        /// Restart analog: a fresh driver (empty state, new RNG stream)
+        /// boots at `at` under the same node id.
+        fn restart(&mut self, at: SimTime, node: usize, cfg: DriverConfig, seed: u64) {
+            let n = self.drivers.len() as u32;
+            self.drivers[node] = Self::make_driver(n, node as u32, cfg, seed);
+            self.alive[node] = true;
+            self.epoch[node] = self.epoch[node].wrapping_add(1);
+            let prev = self.now;
+            self.now = at;
+            let outputs = self.drivers[node].start(at);
+            self.apply(node, outputs);
+            self.now = prev.max(at);
         }
 
         fn apply(&mut self, node: usize, outputs: Vec<Output>) {
@@ -1111,6 +1503,14 @@ mod tests {
                                 self.drop_first_assign_to.remove(slot);
                                 continue; // injected loss: first copy gone
                             }
+                        }
+                        if !self.alive[to.index()]
+                            && !matches!(
+                                msg,
+                                LiveMsg::Heartbeat { .. } | LiveMsg::Join { .. } | LiveMsg::Done { .. }
+                            )
+                        {
+                            self.sends_to_down += 1;
                         }
                         let from = self.drivers[node].id();
                         self.push(
@@ -1129,6 +1529,14 @@ mod tests {
                         if let ProbeEvent::AssignRetransmit { .. } = ev {
                             self.retransmits += 1;
                         }
+                        if matches!(
+                            ev,
+                            ProbeEvent::PeerSuspected { .. }
+                                | ProbeEvent::PeerDead { .. }
+                                | ProbeEvent::PeerRejoined { .. }
+                        ) {
+                            self.membership_events.push((self.drivers[node].id(), ev));
+                        }
                     }
                     Output::Completed { job } => {
                         self.completed.push((job, self.drivers[node].id()));
@@ -1139,17 +1547,27 @@ mod tests {
             }
         }
 
-        /// Drains the queue up to `horizon` (timers scheduled past it
-        /// are dropped, like a runtime being shut down).
+        /// Drains the queue up to `horizon`; events scheduled past it
+        /// stay queued for a later `run` call. Events addressed to a
+        /// dead process, or to a node that restarted since they were
+        /// queued, are dropped.
         fn run(&mut self, horizon: SimTime) {
-            while let Some(Ev { at, node, input, .. }) = self.queue.pop() {
-                if at > horizon {
-                    break;
+            while self.queue.peek().is_some_and(|ev| ev.at <= horizon) {
+                let Ev { at, node, epoch, input, .. } = self.queue.pop().expect("peeked");
+                if !self.alive[node] || self.epoch[node] != epoch {
+                    continue;
                 }
                 self.now = at;
                 let outputs = self.drivers[node].handle(at, input);
                 self.apply(node, outputs);
             }
+            self.now = self.now.max(horizon);
+        }
+
+        fn saw_membership_event(&self, by: u32, want: &ProbeEvent) -> bool {
+            self.membership_events
+                .iter()
+                .any(|(observer, ev)| observer.index() == by as usize && ev == want)
         }
     }
 
@@ -1163,6 +1581,20 @@ mod tests {
             },
             failsafe: true,
             failsafe_detection: SimDuration::from_secs(2),
+            membership: MembershipConfig::default(),
+        }
+    }
+
+    /// `fast_cfg` with an aggressive failure detector: suspect after
+    /// 1.5 s of silence, dead after 4 s.
+    fn churn_cfg() -> DriverConfig {
+        DriverConfig {
+            membership: MembershipConfig {
+                heartbeat_period: SimDuration::from_millis(500),
+                suspect_misses: 3,
+                dead_misses: 8,
+            },
+            ..fast_cfg()
         }
     }
 
@@ -1283,15 +1715,274 @@ mod tests {
         let peers = vec![NodeId::new(0)];
         let mut driver =
             NodeDriver::new(NodeId::new(0), profile(1.0), Policy::Fcfs, cfg, 7, peers.clone(), peers);
-        for i in 0..(NodeDriver::MAX_SEEN as u32 + 100) {
+        let total = NodeDriver::MAX_SEEN as u32 + 100;
+        for i in 0..total {
             driver.record_flood(FloodUid { origin: NodeId::new(9), seq: i });
         }
         assert_eq!(driver.seen.len(), NodeDriver::MAX_SEEN);
         assert_eq!(driver.seen_order.len(), NodeDriver::MAX_SEEN);
-        // The most recent floods are still deduped.
-        assert!(!driver.record_flood(FloodUid {
-            origin: NodeId::new(9),
-            seq: NodeDriver::MAX_SEEN as u32 + 99
-        }));
+        // Every flood inside the retention window still dedups — no
+        // false re-forward of anything recent.
+        for i in 100..total {
+            assert!(
+                !driver.record_flood(FloodUid { origin: NodeId::new(9), seq: i }),
+                "flood {i} inside the retention window must still dedup"
+            );
+        }
+        // ...and the bound held through the re-checks.
+        assert_eq!(driver.seen.len(), NodeDriver::MAX_SEEN);
+    }
+
+    /// Terminal-job bookkeeping (specs, completions, delegation state)
+    /// is bounded by [`NodeDriver::MAX_RETIRED`]: a soak that executes
+    /// far more jobs than the ring holds can't grow memory without
+    /// bound, yet recent jobs still suppress duplicate ASSIGNs.
+    #[test]
+    fn job_bookkeeping_is_bounded() {
+        let cfg = fast_cfg();
+        let peers = vec![NodeId::new(0), NodeId::new(1)];
+        let mut driver = NodeDriver::new(
+            NodeId::new(1),
+            profile(1.0),
+            Policy::Fcfs,
+            cfg,
+            7,
+            peers.clone(),
+            peers,
+        );
+        let total = NodeDriver::MAX_RETIRED as u64 + 500;
+        let mut now = SimTime::ZERO;
+        for j in 0..total {
+            now += SimDuration::from_secs(1);
+            let assign = LiveMsg::Assign { initiator: NodeId::new(0), spec: spec(j, 1) };
+            let out = driver.handle(now, Input::Msg { from: NodeId::new(0), msg: assign });
+            // Fire the execution-complete timer the enqueue scheduled.
+            let timers: Vec<Timer> = out
+                .iter()
+                .filter_map(|o| match o {
+                    Output::StartTimer { timer: t @ Timer::ExecutionComplete { .. }, .. } => {
+                        Some(*t)
+                    }
+                    _ => None,
+                })
+                .collect();
+            for t in timers {
+                now += SimDuration::from_mins(2);
+                driver.handle(now, Input::Timer(t));
+            }
+        }
+        let cap = NodeDriver::MAX_RETIRED + 1;
+        assert!(driver.specs.len() <= cap, "specs grew to {}", driver.specs.len());
+        assert!(driver.completed.len() <= cap, "completed grew to {}", driver.completed.len());
+        assert!(
+            driver.initiator_of.len() <= cap,
+            "initiator_of grew to {}",
+            driver.initiator_of.len()
+        );
+        // A recent job (inside the ring) still dedups on re-delivery.
+        let recent = total - 1;
+        let dup = driver.handle(
+            now,
+            Input::Msg {
+                from: NodeId::new(0),
+                msg: LiveMsg::Assign { initiator: NodeId::new(0), spec: spec(recent, 1) },
+            },
+        );
+        assert!(
+            dup.iter()
+                .any(|o| matches!(o, Output::Probe(ProbeEvent::DuplicateSuppressed { .. }))),
+            "recently retired job must still suppress duplicates"
+        );
+    }
+
+    // --- churn: failure detection, exclusion, rejoin ----------------------
+
+    /// A SIGKILLed node is suspected, then declared dead, by every
+    /// survivor; afterwards no REQUEST flood or ASSIGN is addressed to
+    /// the corpse and the surviving cluster still completes everything.
+    #[test]
+    fn killed_node_is_declared_dead_and_excluded() {
+        let mut cluster = Cluster::new(5, churn_cfg());
+        cluster.start();
+        cluster.run(SimTime::from_secs(2));
+        cluster.kill(4);
+        // dead_after = 4s; give the sweep plenty of slack.
+        cluster.run(SimTime::from_secs(12));
+        let victim = NodeId::new(4);
+        for by in 0..4u32 {
+            let observer = NodeId::new(by);
+            assert!(
+                cluster.saw_membership_event(
+                    by,
+                    &ProbeEvent::PeerSuspected { peer: victim, by: observer }
+                ),
+                "node {by} never suspected the victim"
+            );
+            assert!(
+                cluster
+                    .saw_membership_event(by, &ProbeEvent::PeerDead { peer: victim, by: observer }),
+                "node {by} never declared the victim dead"
+            );
+        }
+        // From here on, protocol traffic must avoid the corpse.
+        cluster.sends_to_down = 0;
+        let at = cluster.now;
+        for j in 0..6u64 {
+            cluster.submit(at + SimDuration::from_millis(j * 50), (j % 4) as u32, spec(j, 5));
+        }
+        cluster.run(at + SimDuration::from_hours(2));
+        assert_eq!(
+            cluster.sends_to_down, 0,
+            "protocol traffic was addressed to a node already declared dead"
+        );
+        assert!(cluster.lost.is_empty(), "lost: {:?}", cluster.lost);
+        assert!(cluster.abandoned.is_empty(), "abandoned: {:?}", cluster.abandoned);
+        let mut done: Vec<u64> = cluster.completed.iter().map(|(j, _)| j.raw()).collect();
+        done.sort_unstable();
+        assert_eq!(done, (0..6).collect::<Vec<_>>(), "exactly-once completion");
+        assert!(
+            cluster.completed.iter().all(|&(_, on)| on != victim),
+            "a dead node completed work"
+        );
+    }
+
+    /// The assignee dies *after* ACKing: the initiator's failure
+    /// detector notices, recovers the delegation (§III-D path), and the
+    /// job completes elsewhere exactly once.
+    #[test]
+    fn killed_assignee_recovers_via_peer_death() {
+        let mut cluster = Cluster::new(3, churn_cfg());
+        cluster.start();
+        cluster.run(SimTime::from_secs(1));
+        // Saturate every node with a long job; the fast node (1, perf
+        // 1.5) then quotes the lowest completion time for the short
+        // job, so node 0 must delegate it remotely.
+        let at = cluster.now;
+        for j in 0..3u64 {
+            cluster.submit(at + SimDuration::from_millis(j * 500), 0, spec(100 + j, 60));
+        }
+        cluster.run(at + SimDuration::from_secs(3));
+        let at = cluster.now;
+        cluster.submit(at, 0, spec(1, 5));
+        cluster.run(at + SimDuration::from_secs(2));
+        let (_j, assignee, _) = cluster
+            .assigned
+            .iter()
+            .find(|(j, _, _)| j.raw() == 1)
+            .copied()
+            .expect("job 1 was assigned");
+        assert_ne!(assignee, NodeId::new(0), "job 1 should have been delegated");
+        cluster.kill(assignee.index());
+        cluster.run(cluster.now + SimDuration::from_hours(3));
+        assert!(cluster.lost.is_empty(), "lost: {:?}", cluster.lost);
+        let finishers: Vec<NodeId> = cluster
+            .completed
+            .iter()
+            .filter(|(j, _)| j.raw() == 1)
+            .map(|&(_, on)| on)
+            .collect();
+        assert_eq!(finishers.len(), 1, "job 1 must complete exactly once: {finishers:?}");
+        assert_ne!(finishers[0], assignee, "the dead assignee can't have finished it");
+    }
+
+    /// A restarted node rejoins: every survivor emits `peer-rejoined`,
+    /// and the fresh incarnation receives (and completes) new work.
+    #[test]
+    fn restarted_node_rejoins_and_receives_work() {
+        let mut cluster = Cluster::new(5, churn_cfg());
+        cluster.start();
+        cluster.run(SimTime::from_secs(2));
+        cluster.kill(4);
+        cluster.run(SimTime::from_secs(12));
+        let victim = NodeId::new(4);
+        for by in 0..4u32 {
+            assert!(
+                cluster
+                    .saw_membership_event(by, &ProbeEvent::PeerDead { peer: victim, by: NodeId::new(by) }),
+                "node {by} never declared the victim dead"
+            );
+        }
+        cluster.restart(SimTime::from_secs(12), 4, churn_cfg(), 9004);
+        cluster.run(SimTime::from_secs(16));
+        for by in 0..4u32 {
+            assert!(
+                cluster.saw_membership_event(
+                    by,
+                    &ProbeEvent::PeerRejoined { peer: victim, by: NodeId::new(by) }
+                ),
+                "node {by} never readmitted the restarted victim"
+            );
+        }
+        // New work flows to the rejoined node: long jobs submitted at a
+        // 1 s spacing saturate nodes 0-3 so node 4 must win some.
+        let at = cluster.now;
+        for j in 0..6u64 {
+            cluster.submit(at + SimDuration::from_secs(j), (j % 4) as u32, spec(j, 10));
+        }
+        cluster.run(at + SimDuration::from_hours(2));
+        assert!(cluster.lost.is_empty(), "lost: {:?}", cluster.lost);
+        assert!(cluster.abandoned.is_empty(), "abandoned: {:?}", cluster.abandoned);
+        let mut done: Vec<u64> = cluster.completed.iter().map(|(j, _)| j.raw()).collect();
+        done.sort_unstable();
+        assert_eq!(done, (0..6).collect::<Vec<_>>(), "exactly-once completion");
+        assert!(
+            cluster.completed.iter().any(|&(_, on)| on == victim),
+            "the rejoined node never received work: {:?}",
+            cluster.completed
+        );
+    }
+
+    /// An ASSIGN in flight to a peer the detector later declares dead
+    /// must not burn the whole retransmit budget: peer-death
+    /// short-circuits straight to the recorded-offer fallback.
+    #[test]
+    fn dead_assignee_short_circuits_retransmits() {
+        let mut cluster = Cluster::new(3, {
+            let mut cfg = churn_cfg();
+            // Slow ACK timeout so detection (4 s) beats the first
+            // retransmit attempt window comfortably.
+            cfg.aria.assign_ack_timeout = SimDuration::from_secs(6);
+            cfg
+        });
+        cluster.start();
+        cluster.run(SimTime::from_secs(1));
+        // Saturate every node so the short job is delegated remotely.
+        let at = cluster.now;
+        for j in 0..3u64 {
+            cluster.submit(at + SimDuration::from_millis(j * 500), 0, spec(100 + j, 60));
+        }
+        cluster.run(at + SimDuration::from_secs(3));
+        // Drop the first ASSIGN copy to everyone, and kill whichever
+        // node wins right after the window closes: the ASSIGN is never
+        // ACKed and the assignee never comes back.
+        cluster.drop_first_assign_to = (0..3).map(NodeId::new).collect();
+        let at = cluster.now;
+        cluster.submit(at, 0, spec(1, 5));
+        cluster.run(at + SimDuration::from_millis(400));
+        let (_j, assignee, _) = cluster
+            .assigned
+            .iter()
+            .find(|(j, _, _)| j.raw() == 1)
+            .copied()
+            .expect("job 1 was assigned");
+        assert_ne!(assignee, NodeId::new(0));
+        // Only the victim's first copy matters; keep later recovery
+        // re-assigns (of the saturating jobs) clean.
+        cluster.drop_first_assign_to.clear();
+        cluster.kill(assignee.index());
+        cluster.run(cluster.now + SimDuration::from_hours(3));
+        assert_eq!(
+            cluster.retransmits, 0,
+            "peer-death must pre-empt the retransmit ladder"
+        );
+        assert!(cluster.lost.is_empty(), "lost: {:?}", cluster.lost);
+        let finishers: Vec<NodeId> = cluster
+            .completed
+            .iter()
+            .filter(|(j, _)| j.raw() == 1)
+            .map(|&(_, on)| on)
+            .collect();
+        assert_eq!(finishers.len(), 1, "job 1 completes exactly once: {finishers:?}");
+        assert_ne!(finishers[0], assignee);
     }
 }

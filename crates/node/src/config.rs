@@ -14,7 +14,7 @@
 //! timing knobs by construction.
 
 use aria_core::config::ProtocolTiming;
-use aria_core::driver::DriverConfig;
+use aria_core::driver::{DriverConfig, MembershipConfig};
 use aria_core::AriaConfig;
 use aria_grid::{Architecture, NodeProfile, OperatingSystem, PerfIndex, Policy};
 use aria_overlay::NodeId;
@@ -132,6 +132,10 @@ pub struct NodeConfig {
     /// Injected inbound loss probability for protocol messages, applied
     /// at the codec boundary (`0.0` = lossless).
     pub loss: f64,
+    /// Optional window (since node start) outside which `loss` does not
+    /// apply: scheduled asymmetric loss approximates a partition on
+    /// loopback (each side can be given a different window).
+    pub loss_window: Option<(SimDuration, SimDuration)>,
     /// Deterministic fault knob: drop the first inbound ASSIGN once.
     pub drop_first_assign: bool,
 }
@@ -154,14 +158,18 @@ impl NodeConfig {
             ConfigError("node.id must fit in u32".into())
         })?);
         let bind = get_str(node, "node", "bind")?;
+        validate_addr("node.bind", &bind)?;
         let report = opt_str(node, "report");
-        let seed = get_int(node, "node", "seed").unwrap_or(0).max(0) as u64;
+        if let Some(report) = &report {
+            validate_addr("node.report", report)?;
+        }
+        let seed = opt_u64(node, "node", "seed")?.unwrap_or(0);
         let policy = parse_policy(&opt_str(node, "policy").unwrap_or_else(|| "fcfs".into()))?;
         let profile = NodeProfile::new(
             parse_arch(&opt_str(node, "arch").unwrap_or_else(|| "amd64".into()))?,
             parse_os(&opt_str(node, "os").unwrap_or_else(|| "linux".into()))?,
-            opt_int(node, "memory_gb").unwrap_or(64) as u16,
-            opt_int(node, "disk_gb").unwrap_or(1000) as u16,
+            opt_u16(node, "node", "memory_gb")?.unwrap_or(64),
+            opt_u16(node, "node", "disk_gb")?.unwrap_or(1000),
             PerfIndex::new(opt_float(node, "perf").unwrap_or(1.0))
                 .map_err(|e| ConfigError(format!("node.perf: {e:?}")))?,
         );
@@ -170,18 +178,39 @@ impl NodeConfig {
         let slice = ProtocolTiming {
             accept_window: ms(timing, "accept_window_ms", defaults.accept_window)?,
             request_retry: ms(timing, "request_retry_ms", defaults.request_retry)?,
-            max_request_rounds: opt_int(timing, "max_request_rounds")
-                .map_or(defaults.max_request_rounds, |v| v as u32),
+            max_request_rounds: opt_u32(timing, "timing", "max_request_rounds")?
+                .unwrap_or(defaults.max_request_rounds),
             assign_ack_timeout: ms(timing, "assign_ack_timeout_ms", defaults.assign_ack_timeout)?,
-            assign_max_retries: opt_int(timing, "assign_max_retries")
-                .map_or(defaults.assign_max_retries, |v| v as u32),
+            assign_max_retries: opt_u32(timing, "timing", "assign_max_retries")?
+                .unwrap_or(defaults.assign_max_retries),
         };
         let mut aria = AriaConfig::default().with_timing(slice);
-        if let Some(period) = opt_int(timing, "inform_period_ms") {
-            aria.inform_period = SimDuration::from_millis(period.max(1) as u64);
+        let inform = ms(timing, "inform_period_ms", aria.inform_period)?;
+        if inform.is_zero() {
+            return err("timing.inform_period_ms must be positive");
         }
+        aria.inform_period = inform;
         if let Some(Value::Bool(on)) = timing.get("rescheduling") {
             aria.rescheduling = *on;
+        }
+        let mdef = MembershipConfig::default();
+        let membership = MembershipConfig {
+            // ZERO disables the failure detector.
+            heartbeat_period: ms(timing, "heartbeat_ms", mdef.heartbeat_period)?,
+            suspect_misses: opt_u32(timing, "timing", "suspect_misses")?
+                .unwrap_or(mdef.suspect_misses),
+            dead_misses: opt_u32(timing, "timing", "dead_misses")?.unwrap_or(mdef.dead_misses),
+        };
+        if !membership.heartbeat_period.is_zero() {
+            if membership.suspect_misses == 0 {
+                return err("timing.suspect_misses must be at least 1");
+            }
+            if membership.dead_misses <= membership.suspect_misses {
+                return err(format!(
+                    "timing.dead_misses ({}) must exceed timing.suspect_misses ({})",
+                    membership.dead_misses, membership.suspect_misses
+                ));
+            }
         }
         let driver = DriverConfig {
             aria,
@@ -191,6 +220,7 @@ impl NodeConfig {
                 "failsafe_detection_ms",
                 DriverConfig::default().failsafe_detection,
             )?,
+            membership,
         };
 
         let mut peer_list = Vec::new();
@@ -201,6 +231,7 @@ impl NodeConfig {
             let Value::Str(addr) = value else {
                 return err(format!("peers.{key} must be a \"host:port\" string"));
             };
+            validate_addr(&format!("peers.{key}"), addr)?;
             peer_list.push((NodeId::new(raw), addr.clone()));
         }
         if !peer_list.iter().any(|(peer, _)| *peer == id) {
@@ -211,6 +242,28 @@ impl NodeConfig {
         if !(0.0..1.0).contains(&loss) {
             return err(format!("node.loss {loss} must be in [0, 1)"));
         }
+        let loss_window = match (
+            opt_u64(node, "node", "loss_from_ms")?,
+            opt_u64(node, "node", "loss_until_ms")?,
+        ) {
+            (None, None) => None,
+            (Some(from), Some(until)) if until > from => Some((
+                SimDuration::from_millis(from),
+                SimDuration::from_millis(until),
+            )),
+            (Some(from), Some(until)) => {
+                return err(format!(
+                    "node.loss_until_ms ({until}) must exceed node.loss_from_ms ({from})"
+                ))
+            }
+            _ => return err("node.loss_from_ms and node.loss_until_ms must be set together"),
+        };
+
+        let trace_capacity = match opt_u64(node, "node", "trace_capacity")? {
+            None => 1 << 16,
+            Some(0) => return err("node.trace_capacity must be at least 1"),
+            Some(v) => v as usize,
+        };
 
         Ok(NodeConfig {
             id,
@@ -222,8 +275,9 @@ impl NodeConfig {
             driver,
             peers: peer_list,
             trace: opt_str(node, "trace"),
-            trace_capacity: opt_int(node, "trace_capacity").map_or(1 << 16, |v| v.max(1) as usize),
+            trace_capacity,
             loss,
+            loss_window,
             drop_first_assign: matches!(node.get("drop_first_assign"), Some(Value::Bool(true))),
         })
     }
@@ -252,6 +306,10 @@ impl NodeConfig {
         if self.loss > 0.0 {
             out.push_str(&format!("loss = {:.4}\n", self.loss));
         }
+        if let Some((from, until)) = self.loss_window {
+            out.push_str(&format!("loss_from_ms = {}\n", from.as_millis()));
+            out.push_str(&format!("loss_until_ms = {}\n", until.as_millis()));
+        }
         if self.drop_first_assign {
             out.push_str("drop_first_assign = true\n");
         }
@@ -271,6 +329,10 @@ impl NodeConfig {
             "failsafe_detection_ms = {}\n",
             self.driver.failsafe_detection.as_millis()
         ));
+        let m = self.driver.membership;
+        out.push_str(&format!("heartbeat_ms = {}\n", m.heartbeat_period.as_millis()));
+        out.push_str(&format!("suspect_misses = {}\n", m.suspect_misses));
+        out.push_str(&format!("dead_misses = {}\n", m.dead_misses));
         out.push_str("\n[peers]\n");
         for (peer, addr) in &self.peers {
             out.push_str(&format!("{} = \"{addr}\"\n", peer.raw()));
@@ -302,11 +364,50 @@ fn get_int(section: &Section, name: &str, key: &str) -> Result<i64, ConfigError>
     }
 }
 
-fn opt_int(section: &Section, key: &str) -> Option<i64> {
+/// Optional unsigned integer: present-but-negative, overflowing or
+/// mistyped values are typed errors, never silent wraps or clamps.
+fn opt_u64(section: &Section, name: &str, key: &str) -> Result<Option<u64>, ConfigError> {
     match section.get(key) {
-        Some(Value::Int(v)) => Some(*v),
-        _ => None,
+        None => Ok(None),
+        Some(Value::Int(v)) => u64::try_from(*v)
+            .map(Some)
+            .map_err(|_| ConfigError(format!("{name}.{key} must be non-negative (got {v})"))),
+        Some(_) => err(format!("{name}.{key} must be an integer")),
     }
+}
+
+fn opt_u32(section: &Section, name: &str, key: &str) -> Result<Option<u32>, ConfigError> {
+    match section.get(key) {
+        None => Ok(None),
+        Some(Value::Int(v)) => u32::try_from(*v).map(Some).map_err(|_| {
+            ConfigError(format!("{name}.{key} must be a non-negative 32-bit integer (got {v})"))
+        }),
+        Some(_) => err(format!("{name}.{key} must be an integer")),
+    }
+}
+
+fn opt_u16(section: &Section, name: &str, key: &str) -> Result<Option<u16>, ConfigError> {
+    match section.get(key) {
+        None => Ok(None),
+        Some(Value::Int(v)) => u16::try_from(*v).map(Some).map_err(|_| {
+            ConfigError(format!("{name}.{key} must be a non-negative 16-bit integer (got {v})"))
+        }),
+        Some(_) => err(format!("{name}.{key} must be an integer")),
+    }
+}
+
+/// Validates a `host:port` socket address: non-empty host, 16-bit port.
+fn validate_addr(what: &str, addr: &str) -> Result<(), ConfigError> {
+    let Some((host, port)) = addr.rsplit_once(':') else {
+        return err(format!("{what} `{addr}` must be `host:port`"));
+    };
+    if host.is_empty() {
+        return err(format!("{what} `{addr}` has an empty host"));
+    }
+    if port.parse::<u16>().is_err() {
+        return err(format!("{what} `{addr}` has an invalid port `{port}`"));
+    }
+    Ok(())
 }
 
 fn opt_float(section: &Section, key: &str) -> Option<f64> {
@@ -472,8 +573,93 @@ inform_period_ms = 2000
 
     #[test]
     fn comments_and_quoted_hashes_are_handled() {
-        let text = "[node]\nid = 0 # trailing comment\nbind = \"127.0.0.1:1#2\"\n[peers]\n0 = \"127.0.0.1:1#2\"\n";
+        let text = "[node]\nid = 0 # trailing comment\nbind = \"127.0.0.1:12\"\ntrace = \"/tmp/a#b.jsonl\"\n[peers]\n0 = \"127.0.0.1:12\"\n";
         let config = NodeConfig::parse(text).expect("parses");
-        assert_eq!(config.bind, "127.0.0.1:1#2");
+        assert_eq!(config.trace.as_deref(), Some("/tmp/a#b.jsonl"));
+    }
+
+    /// Every malformed input yields a typed [`ConfigError`] naming the
+    /// offending key — never a panic, wrap or silent clamp.
+    #[test]
+    fn error_paths_are_typed() {
+        fn parse_err(text: &str) -> ConfigError {
+            NodeConfig::parse(text).expect_err("must be rejected")
+        }
+        fn with_peer(node_extra: &str, timing: &str) -> String {
+            format!(
+                "[node]\nid = 0\nbind = \"127.0.0.1:17000\"\n{node_extra}\n[timing]\n{timing}\n[peers]\n0 = \"127.0.0.1:17000\"\n"
+            )
+        }
+
+        // Malformed peer addresses.
+        let e = parse_err(
+            "[node]\nid = 0\nbind = \"127.0.0.1:17000\"\n[peers]\n0 = \"127.0.0.1:17000\"\n1 = \"no-port-here\"\n",
+        );
+        assert!(e.0.contains("peers.1"), "peer error names the key: {e}");
+        let e = parse_err(
+            "[node]\nid = 0\nbind = \"127.0.0.1:17000\"\n[peers]\n0 = \"127.0.0.1:17000\"\n1 = \"host:99999\"\n",
+        );
+        assert!(e.0.contains("invalid port"), "overflowing port is typed: {e}");
+        let e = parse_err("[node]\nid = 0\nbind = \"127.0.0.1:17000\"\n[peers]\n0 = 17000\n");
+        assert!(e.0.contains("peers.0"), "non-string peer value: {e}");
+
+        // Negative and overflowing timing values.
+        let e = parse_err(&with_peer("", "accept_window_ms = -5"));
+        assert!(e.0.contains("accept_window_ms"), "{e}");
+        let e = parse_err(&with_peer("", "max_request_rounds = -1"));
+        assert!(e.0.contains("max_request_rounds"), "{e}");
+        let e = parse_err(&with_peer("", "assign_max_retries = 4294967296"));
+        assert!(e.0.contains("assign_max_retries"), "{e}");
+        let e = parse_err(&with_peer("", "inform_period_ms = 0"));
+        assert!(e.0.contains("inform_period_ms"), "{e}");
+        let e = parse_err(&with_peer("", "heartbeat_ms = -100"));
+        assert!(e.0.contains("heartbeat_ms"), "{e}");
+        let e = parse_err(&with_peer("", "suspect_misses = 0"));
+        assert!(e.0.contains("suspect_misses"), "{e}");
+        let e = parse_err(&with_peer("", "suspect_misses = 5\ndead_misses = 5"));
+        assert!(e.0.contains("dead_misses"), "{e}");
+
+        // Negative/overflow node values that were previously clamped.
+        let e = parse_err(&with_peer("seed = -3", ""));
+        assert!(e.0.contains("seed"), "{e}");
+        let e = parse_err(&with_peer("memory_gb = 70000", ""));
+        assert!(e.0.contains("memory_gb"), "{e}");
+        let e = parse_err(&with_peer("disk_gb = -1", ""));
+        assert!(e.0.contains("disk_gb"), "{e}");
+        let e = parse_err(&with_peer("trace_capacity = 0", ""));
+        assert!(e.0.contains("trace_capacity"), "{e}");
+
+        // Loss windows must be well-formed pairs.
+        let e = parse_err(&with_peer("loss = 0.5\nloss_from_ms = 100", ""));
+        assert!(e.0.contains("loss_from_ms"), "{e}");
+        let e = parse_err(&with_peer("loss = 0.5\nloss_from_ms = 200\nloss_until_ms = 100", ""));
+        assert!(e.0.contains("loss_until_ms"), "{e}");
+
+        // Unknown section stays a hard error.
+        let e = parse_err(
+            "[node]\nid = 0\nbind = \"127.0.0.1:17000\"\n[chaos]\nx = 1\n[peers]\n0 = \"127.0.0.1:17000\"\n",
+        );
+        assert!(e.0.contains("[chaos]"), "{e}");
+    }
+
+    #[test]
+    fn membership_and_loss_window_round_trip() {
+        let text = "[node]\nid = 0\nbind = \"127.0.0.1:17000\"\nloss = 0.25\nloss_from_ms = 2000\nloss_until_ms = 6000\n[timing]\nheartbeat_ms = 500\nsuspect_misses = 2\ndead_misses = 6\n[peers]\n0 = \"127.0.0.1:17000\"\n";
+        let config = NodeConfig::parse(text).expect("parses");
+        let m = config.driver.membership;
+        assert_eq!(m.heartbeat_period, SimDuration::from_millis(500));
+        assert_eq!(m.suspect_misses, 2);
+        assert_eq!(m.dead_misses, 6);
+        assert_eq!(
+            config.loss_window,
+            Some((SimDuration::from_secs(2), SimDuration::from_secs(6)))
+        );
+        let again = NodeConfig::parse(&config.to_toml()).expect("rendered config parses");
+        assert_eq!(again, config);
+        // heartbeat_ms = 0 disables the detector and skips the
+        // misses-ordering validation.
+        let off = "[node]\nid = 0\nbind = \"127.0.0.1:17000\"\n[timing]\nheartbeat_ms = 0\nsuspect_misses = 9\ndead_misses = 1\n[peers]\n0 = \"127.0.0.1:17000\"\n";
+        let config = NodeConfig::parse(off).expect("disabled detector parses");
+        assert!(config.driver.membership.heartbeat_period.is_zero());
     }
 }

@@ -18,10 +18,17 @@
 //!   reads live traces and simulator traces identically.
 //!
 //! Inbound datagrams cross the codec boundary, then an optional fault
-//! stage (probabilistic loss and the deterministic `drop_first_assign`
-//! knob — the live counterpart of the simulator's `FaultPlan`), and only
-//! then reach the driver. Loss applies strictly to protocol messages;
-//! harness control frames (`Submit`, `Shutdown`) are never dropped.
+//! stage (probabilistic loss — optionally confined to a scheduled
+//! window, approximating an asymmetric partition — and the
+//! deterministic `drop_first_assign` knob, the live counterparts of the
+//! simulator's `FaultPlan`), and only then reach the driver. Loss
+//! applies strictly to protocol messages; harness control frames
+//! (`Submit`, `Shutdown`) are never dropped.
+//!
+//! When tracing is on, every probe event is also appended (and flushed)
+//! to `<trace>.part` as it happens, so a SIGKILLed node still leaves
+//! its events on disk for the chaos harness; a clean shutdown writes
+//! the final `<trace>` file and removes the partial.
 
 use crate::config::NodeConfig;
 use crate::timer::TimerWheel;
@@ -29,9 +36,10 @@ use aria_core::driver::{Input, LiveMsg, NodeDriver, Output};
 use aria_grid::JobId;
 use aria_probe::schema;
 use aria_probe::{Probe, ProbeEvent, RingRecorder, TraceMeta};
+use aria_probe::TraceEntry;
 use aria_sim::{SimRng, SimTime};
 use std::collections::BTreeMap;
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::time::{Duration, Instant};
 
@@ -88,7 +96,7 @@ pub fn run(config: &NodeConfig) -> io::Result<RunReport> {
     );
     let mut faults = SimRng::seed_from(config.seed ^ 0xFA01_7157_AC5E_0001);
     let mut wheel = TimerWheel::new();
-    let mut recorder = RingRecorder::with_capacity(config.trace_capacity);
+    let mut tracer = Tracer::open(config)?;
     let mut report = RunReport::default();
     let mut armed_first_assign_drop = config.drop_first_assign;
 
@@ -96,9 +104,9 @@ pub fn run(config: &NodeConfig) -> io::Result<RunReport> {
     let now_sim = |epoch: &Instant| SimTime::from_millis(epoch.elapsed().as_millis() as u64);
 
     let mut now = now_sim(&epoch);
-    let startup = driver.start();
+    let startup = driver.start(now);
     execute(
-        &mut driver, &socket, &addr_of, report_addr, &mut wheel, &mut recorder, &mut report,
+        &mut driver, &socket, &addr_of, report_addr, &mut wheel, &mut tracer, &mut report,
         now, startup,
     )?;
 
@@ -108,7 +116,7 @@ pub fn run(config: &NodeConfig) -> io::Result<RunReport> {
         while let Some(timer) = wheel.pop_due(now) {
             let outputs = driver.handle(now, Input::Timer(timer));
             execute(
-                &mut driver, &socket, &addr_of, report_addr, &mut wheel, &mut recorder,
+                &mut driver, &socket, &addr_of, report_addr, &mut wheel, &mut tracer,
                 &mut report, now, outputs,
             )?;
         }
@@ -143,16 +151,20 @@ pub fn run(config: &NodeConfig) -> io::Result<RunReport> {
             None => config.id,
         };
         if msg.is_protocol() {
+            let lossy = config.loss > 0.0
+                && config.loss_window.is_none_or(|(from, until)| {
+                    now.as_millis() >= from.as_millis() && now.as_millis() < until.as_millis()
+                });
             let drop_this = if armed_first_assign_drop && matches!(msg, LiveMsg::Assign { .. }) {
                 armed_first_assign_drop = false;
                 true
             } else {
-                config.loss > 0.0 && faults.chance(config.loss)
+                lossy && faults.chance(config.loss)
             };
             if drop_this {
                 report.injected_drops += 1;
                 if let Some(job) = msg_job(&msg) {
-                    recorder.record(
+                    tracer.record(
                         now,
                         ProbeEvent::MessageDropped { kind: msg.kind(), job, to: config.id },
                     );
@@ -162,22 +174,55 @@ pub fn run(config: &NodeConfig) -> io::Result<RunReport> {
         }
         let outputs = driver.handle(now, Input::Msg { from, msg });
         execute(
-            &mut driver, &socket, &addr_of, report_addr, &mut wheel, &mut recorder, &mut report,
+            &mut driver, &socket, &addr_of, report_addr, &mut wheel, &mut tracer, &mut report,
             now, outputs,
         )?;
     }
 
-    report.probe_events = recorder.dropped() + recorder.len() as u64;
+    report.probe_events = tracer.recorder.dropped() + tracer.recorder.len() as u64;
     if let Some(path) = &config.trace {
-        let trace = recorder.into_trace(TraceMeta {
+        let trace = tracer.recorder.into_trace(TraceMeta {
             scenario: "live-node".to_string(),
             seed: config.seed,
             nodes: config.peers.len() as u64,
             jobs: report.completed,
         });
         std::fs::write(path, schema::to_jsonl(&trace))?;
+        let _ = std::fs::remove_file(format!("{path}.part"));
     }
     Ok(report)
+}
+
+/// Records probe events into the bounded ring and, when tracing is on,
+/// streams each one (flushed per line) to `<trace>.part` so a SIGKILL
+/// still leaves the node's history on disk for the chaos harness.
+struct Tracer {
+    recorder: RingRecorder,
+    stream: Option<std::fs::File>,
+    seq: u64,
+}
+
+impl Tracer {
+    fn open(config: &NodeConfig) -> io::Result<Tracer> {
+        let stream = match &config.trace {
+            Some(path) => Some(std::fs::File::create(format!("{path}.part"))?),
+            None => None,
+        };
+        Ok(Tracer { recorder: RingRecorder::with_capacity(config.trace_capacity), stream, seq: 0 })
+    }
+
+    fn record(&mut self, now: SimTime, event: ProbeEvent) {
+        if let Some(file) = &mut self.stream {
+            let entry = TraceEntry { seq: self.seq, at: now, event };
+            // Flushed per line: a buffered partial would lose exactly
+            // the pre-kill events the chaos harness needs.
+            let line = schema::entry_line(&entry);
+            let _ = writeln!(file, "{line}");
+            let _ = file.flush();
+        }
+        self.seq += 1;
+        self.recorder.record(now, event);
+    }
 }
 
 /// Executes one batch of driver outputs against the real transport,
@@ -189,7 +234,7 @@ fn execute(
     addr_of: &BTreeMap<aria_overlay::NodeId, SocketAddr>,
     report_addr: Option<SocketAddr>,
     wheel: &mut TimerWheel,
-    recorder: &mut RingRecorder,
+    tracer: &mut Tracer,
     report: &mut RunReport,
     now: SimTime,
     outputs: Vec<Output>,
@@ -204,7 +249,7 @@ fn execute(
                 }
             }
             Output::StartTimer { after, timer } => wheel.arm(now + after, timer),
-            Output::Probe(event) => recorder.record(now, event),
+            Output::Probe(event) => tracer.record(now, event),
             Output::Completed { job } => {
                 report.completed += 1;
                 if let Some(addr) = report_addr {
@@ -226,9 +271,12 @@ fn msg_job(msg: &LiveMsg) -> Option<JobId> {
         | LiveMsg::Inform { spec, .. }
         | LiveMsg::Assign { spec, .. }
         | LiveMsg::Submit { spec } => Some(spec.id),
-        LiveMsg::Accept { job, .. } | LiveMsg::Ack { job, .. } | LiveMsg::Done { job, .. } => {
-            Some(*job)
+        LiveMsg::Accept { job, .. }
+        | LiveMsg::Ack { job, .. }
+        | LiveMsg::Done { job, .. }
+        | LiveMsg::Holding { job, .. } => Some(*job),
+        LiveMsg::Join { .. } | LiveMsg::Leave { .. } | LiveMsg::Heartbeat { .. } | LiveMsg::Shutdown => {
+            None
         }
-        LiveMsg::Join { .. } | LiveMsg::Leave { .. } | LiveMsg::Shutdown => None,
     }
 }

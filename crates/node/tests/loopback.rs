@@ -8,7 +8,7 @@
 //! oracle: same probe schema, same merged-trace validation, real I/O.
 
 use aria_core::config::ProtocolTiming;
-use aria_core::driver::DriverConfig;
+use aria_core::driver::{DriverConfig, MembershipConfig};
 use aria_core::AriaConfig;
 use aria_grid::{
     Architecture, JobId, JobRequirements, JobSpec, NodeProfile, OperatingSystem, PerfIndex,
@@ -31,7 +31,16 @@ fn live_timing() -> DriverConfig {
         assign_max_retries: 4,
     });
     aria.inform_period = SimDuration::from_millis(2000);
-    DriverConfig { aria, failsafe: true, failsafe_detection: SimDuration::from_millis(3000) }
+    DriverConfig {
+        aria,
+        failsafe: true,
+        failsafe_detection: SimDuration::from_millis(3000),
+        membership: MembershipConfig {
+            heartbeat_period: SimDuration::from_millis(500),
+            suspect_misses: 3,
+            dead_misses: 8,
+        },
+    }
 }
 
 /// Alternating short/long ERTs over two requirement classes, all
@@ -79,8 +88,12 @@ fn lossy_five_node_cluster_conserves_every_job() {
         policies: vec![Policy::Fcfs, Policy::Sjf],
         driver: live_timing(),
         loss: 0.05,
+        loss_windows: Vec::new(),
         drop_first_assign: true,
         seed: 42,
+        submit_gap: Duration::from_millis(5),
+        submit_to: Vec::new(),
+        churn: Vec::new(),
         dir,
         node_binary: PathBuf::from(env!("CARGO_BIN_EXE_aria-node")),
         deadline: Duration::from_secs(45),

@@ -274,6 +274,32 @@ pub enum ProbeEvent {
         /// Index of the window in the fault plan.
         window: u32,
     },
+    /// A failure detector marked a silent peer as suspected (schema v4).
+    ///
+    /// Suspicion is telemetry-only: the peer stays in fan-out sampling
+    /// and bid candidacy until it is declared dead.
+    PeerSuspected {
+        /// The silent peer.
+        peer: NodeId,
+        /// The node whose detector raised the suspicion.
+        by: NodeId,
+    },
+    /// A failure detector declared a peer dead (schema v4): excluded
+    /// from fan-out and assignment, delegations to it recovered.
+    PeerDead {
+        /// The dead peer.
+        peer: NodeId,
+        /// The node whose detector declared it.
+        by: NodeId,
+    },
+    /// A previously dead peer came back (restart or partition heal) and
+    /// re-entered live membership (schema v4).
+    PeerRejoined {
+        /// The returning peer.
+        peer: NodeId,
+        /// The node whose detector readmitted it.
+        by: NodeId,
+    },
     /// Periodic world sample: node occupancy and event-queue pressure.
     ///
     /// All four gauges are u64 (schema v3): at 100k+ node scales the
@@ -317,6 +343,9 @@ impl ProbeEvent {
             ProbeEvent::DuplicateSuppressed { .. } => "duplicate-suppressed",
             ProbeEvent::PartitionStarted { .. } => "partition-started",
             ProbeEvent::PartitionHealed { .. } => "partition-healed",
+            ProbeEvent::PeerSuspected { .. } => "peer-suspected",
+            ProbeEvent::PeerDead { .. } => "peer-dead",
+            ProbeEvent::PeerRejoined { .. } => "peer-rejoined",
             ProbeEvent::Gauge { .. } => "gauge",
         }
     }
@@ -346,6 +375,9 @@ impl ProbeEvent {
             | ProbeEvent::NodeCrashed { .. }
             | ProbeEvent::PartitionStarted { .. }
             | ProbeEvent::PartitionHealed { .. }
+            | ProbeEvent::PeerSuspected { .. }
+            | ProbeEvent::PeerDead { .. }
+            | ProbeEvent::PeerRejoined { .. }
             | ProbeEvent::Gauge { .. } => None,
         }
     }
@@ -378,6 +410,9 @@ impl ProbeEvent {
             }
             ProbeEvent::AckReceived { from, .. } => Some(from),
             ProbeEvent::DuplicateSuppressed { node, .. } => Some(node),
+            ProbeEvent::PeerSuspected { by, .. }
+            | ProbeEvent::PeerDead { by, .. }
+            | ProbeEvent::PeerRejoined { by, .. } => Some(by),
             ProbeEvent::JobLost { .. }
             | ProbeEvent::PartitionStarted { .. }
             | ProbeEvent::PartitionHealed { .. }
@@ -466,6 +501,15 @@ impl fmt::Display for ProbeEvent {
             }
             ProbeEvent::PartitionHealed { window } => {
                 write!(f, "partition window {window} healed")
+            }
+            ProbeEvent::PeerSuspected { peer, by } => {
+                write!(f, "{by} suspects {peer} (missed heartbeats)")
+            }
+            ProbeEvent::PeerDead { peer, by } => {
+                write!(f, "{by} declares {peer} dead")
+            }
+            ProbeEvent::PeerRejoined { peer, by } => {
+                write!(f, "{by} readmits {peer} to live membership")
             }
             ProbeEvent::Gauge { idle, queued, pending_events, peak_events } => {
                 write!(

@@ -30,6 +30,9 @@
 //!   form is unchanged — JSON integers — but v3 writers may emit values
 //!   above `u32::MAX` at 100k+ node scales). v1/v2 traces still
 //!   validate.
+//! * **v4** — adds the live-membership kinds `peer-suspected`,
+//!   `peer-dead` and `peer-rejoined` emitted by the `NodeDriver`
+//!   failure detector. v1/v2/v3 traces still validate.
 //!
 //! The schema is deliberately integer/bool/string-only (sim-time in
 //! milliseconds, costs in scheduler-cost milliseconds) so traces diff
@@ -50,7 +53,7 @@ use std::fmt;
 pub const SCHEMA_NAME: &str = "aria-probe-trace";
 
 /// Current schema version; see the module docs for the bump policy.
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// A parse or validation failure, with the 1-based line it occurred on
 /// (line 0 = whole-file problems).
@@ -138,16 +141,37 @@ fn push_node(out: &mut String, key: &str, node: NodeId) {
 
 /// Appends the header line (without trailing newline) for `trace`.
 fn write_header(out: &mut String, trace: &Trace) {
+    out.push_str(&header_line(&trace.meta, trace.entries.len() as u64, trace.dropped));
+}
+
+/// One header line (no trailing newline) for a trace with the given meta
+/// and counts.
+///
+/// This is the streaming form used by the live runtime: event lines are
+/// appended to a `.part` file as they happen, and the header — whose
+/// event count is only known at shutdown — is prepended when the trace
+/// is finalized.
+pub fn header_line(meta: &TraceMeta, events: u64, dropped: u64) -> String {
+    let mut out = String::with_capacity(128);
     out.push_str("{\"schema\":");
-    push_escaped(out, SCHEMA_NAME);
-    push_u64(out, "version", SCHEMA_VERSION);
-    push_str(out, "scenario", &trace.meta.scenario);
-    push_u64(out, "seed", trace.meta.seed);
-    push_u64(out, "nodes", trace.meta.nodes);
-    push_u64(out, "jobs", trace.meta.jobs);
-    push_u64(out, "events", trace.entries.len() as u64);
-    push_u64(out, "dropped", trace.dropped);
+    push_escaped(&mut out, SCHEMA_NAME);
+    push_u64(&mut out, "version", SCHEMA_VERSION);
+    push_str(&mut out, "scenario", &meta.scenario);
+    push_u64(&mut out, "seed", meta.seed);
+    push_u64(&mut out, "nodes", meta.nodes);
+    push_u64(&mut out, "jobs", meta.jobs);
+    push_u64(&mut out, "events", events);
+    push_u64(&mut out, "dropped", dropped);
     out.push('}');
+    out
+}
+
+/// One event line (no trailing newline) — the streaming counterpart of
+/// [`to_jsonl`], byte-identical to the line that function would emit.
+pub fn entry_line(entry: &TraceEntry) -> String {
+    let mut out = String::with_capacity(96);
+    write_entry(&mut out, entry);
+    out
 }
 
 /// Appends one event line (without trailing newline).
@@ -255,6 +279,12 @@ fn write_entry(out: &mut String, entry: &TraceEntry) {
         }
         ProbeEvent::PartitionStarted { window } | ProbeEvent::PartitionHealed { window } => {
             push_u64(out, "window", u64::from(window));
+        }
+        ProbeEvent::PeerSuspected { peer, by }
+        | ProbeEvent::PeerDead { peer, by }
+        | ProbeEvent::PeerRejoined { peer, by } => {
+            push_node(out, "peer", peer);
+            push_node(out, "by", by);
         }
         ProbeEvent::Gauge { idle, queued, pending_events, peak_events } => {
             push_u64(out, "idle", idle);
@@ -653,6 +683,11 @@ fn event_from_fields(f: &Fields) -> Result<ProbeEvent, SchemaError> {
         },
         "partition-started" => ProbeEvent::PartitionStarted { window: f.u32("window")? },
         "partition-healed" => ProbeEvent::PartitionHealed { window: f.u32("window")? },
+        "peer-suspected" => {
+            ProbeEvent::PeerSuspected { peer: f.node("peer")?, by: f.node("by")? }
+        }
+        "peer-dead" => ProbeEvent::PeerDead { peer: f.node("peer")?, by: f.node("by")? },
+        "peer-rejoined" => ProbeEvent::PeerRejoined { peer: f.node("peer")?, by: f.node("by")? },
         "gauge" => ProbeEvent::Gauge {
             idle: f.u64("idle")?,
             queued: f.u64("queued")?,
@@ -811,7 +846,7 @@ mod tests {
     fn header_is_first_line_and_versioned() {
         let text = to_jsonl(&sample_trace());
         let header = text.lines().next().unwrap();
-        assert!(header.starts_with("{\"schema\":\"aria-probe-trace\",\"version\":3,"));
+        assert!(header.starts_with("{\"schema\":\"aria-probe-trace\",\"version\":4,"));
         assert!(header.contains("\"scenario\":\"iMixed\""));
         assert!(header.contains("\"events\":6"));
     }
@@ -819,18 +854,28 @@ mod tests {
     #[test]
     fn v1_traces_still_validate() {
         // The sample trace only uses v1 kinds; a v1-stamped file of it
-        // must keep parsing under the v3 reader.
-        let text = to_jsonl(&sample_trace()).replace("\"version\":3", "\"version\":1");
+        // must keep parsing under the v4 reader.
+        let text = to_jsonl(&sample_trace()).replace("\"version\":4", "\"version\":1");
         let back = from_jsonl(&text).expect("v1 trace rejected");
         assert_eq!(back, sample_trace());
     }
 
     #[test]
     fn v2_traces_still_validate() {
-        // v3 only widened the gauge fields; a v2-stamped trace (gauge
-        // values all within u32) must keep parsing under the v3 reader.
-        let text = to_jsonl(&sample_trace()).replace("\"version\":3", "\"version\":2");
+        // v3/v4 were additive; a v2-stamped trace (gauge values all
+        // within u32, no membership kinds) must keep parsing under the
+        // v4 reader.
+        let text = to_jsonl(&sample_trace()).replace("\"version\":4", "\"version\":2");
         let back = from_jsonl(&text).expect("v2 trace rejected");
+        assert_eq!(back, sample_trace());
+    }
+
+    #[test]
+    fn v3_traces_still_validate() {
+        // v4 only added membership kinds; a v3-stamped trace without
+        // them must keep parsing under the v4 reader.
+        let text = to_jsonl(&sample_trace()).replace("\"version\":4", "\"version\":3");
+        let back = from_jsonl(&text).expect("v3 trace rejected");
         assert_eq!(back, sample_trace());
     }
 
@@ -907,6 +952,51 @@ mod tests {
     }
 
     #[test]
+    fn v4_membership_kinds_roundtrip() {
+        let peer = NodeId::new(3);
+        let by = NodeId::new(1);
+        let entries = vec![
+            TraceEntry {
+                seq: 0,
+                at: SimTime::from_secs(5),
+                event: ProbeEvent::PeerSuspected { peer, by },
+            },
+            TraceEntry {
+                seq: 1,
+                at: SimTime::from_secs(9),
+                event: ProbeEvent::PeerDead { peer, by },
+            },
+            TraceEntry {
+                seq: 2,
+                at: SimTime::from_secs(30),
+                event: ProbeEvent::PeerRejoined { peer, by },
+            },
+        ];
+        let trace = Trace {
+            meta: TraceMeta { scenario: "churn".to_string(), seed: 7, nodes: 5, jobs: 0 },
+            dropped: 0,
+            entries,
+        };
+        let back = from_jsonl(&to_jsonl(&trace)).expect("parse");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn streaming_lines_match_to_jsonl() {
+        // The live runtime writes header_line + entry_line incrementally;
+        // the result must be byte-identical to a one-shot to_jsonl dump.
+        let trace = sample_trace();
+        let mut streamed =
+            header_line(&trace.meta, trace.entries.len() as u64, trace.dropped);
+        streamed.push('\n');
+        for entry in &trace.entries {
+            streamed.push_str(&entry_line(entry));
+            streamed.push('\n');
+        }
+        assert_eq!(streamed, to_jsonl(&trace));
+    }
+
+    #[test]
     fn negative_costs_survive() {
         let trace = sample_trace();
         let back = from_jsonl(&to_jsonl(&trace)).unwrap();
@@ -919,11 +1009,11 @@ mod tests {
     #[test]
     fn version_mismatch_is_rejected() {
         // Future versions are rejected (the reader will not guess)...
-        let text = to_jsonl(&sample_trace()).replace("\"version\":3", "\"version\":99");
+        let text = to_jsonl(&sample_trace()).replace("\"version\":4", "\"version\":99");
         let e = from_jsonl(&text).unwrap_err();
         assert!(e.message.contains("unsupported schema version"), "{e}");
         // ...and so is the nonsense version 0.
-        let text = to_jsonl(&sample_trace()).replace("\"version\":3", "\"version\":0");
+        let text = to_jsonl(&sample_trace()).replace("\"version\":4", "\"version\":0");
         let e = from_jsonl(&text).unwrap_err();
         assert!(e.message.contains("unsupported schema version"), "{e}");
     }
